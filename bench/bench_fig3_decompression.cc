@@ -1,0 +1,224 @@
+// Reproduces Figure 3: "Branch Miss Rate (BMR) and decompression bandwidth
+// versus exception rate" for the NAIVE (branchy if-then-else) and PFOR
+// (patched two-loop) decoders.
+//
+// Expected shape: NAIVE bandwidth collapses as the exception rate approaches
+// 50% because the exception test becomes unpredictable (BMR peaks), then
+// recovers towards 100%; PATCHED has no data-dependent branch, so its BMR
+// stays flat and its bandwidth degrades only linearly with patching work.
+//
+// Branch misses come from hardware counters (perf_event_open) when the
+// kernel permits, otherwise from a deterministic 2-bit-saturating-counter
+// predictor simulation on the decoder's actual branch trace (DESIGN.md §3.5).
+#include <cstdio>
+#include <vector>
+
+#include "common/branch_sim.h"
+#include "common/perf_counters.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "compress/codec.h"
+#include "compress/pfor.h"
+
+namespace x100ir {
+namespace {
+
+// 8-bit codewords — the width §3.3 uses for inverted lists. (The figure's
+// shape is width-independent; b=8 keeps compulsory-exception noise out of
+// the patched variant at low exception rates.)
+constexpr uint32_t kValuesPerBlock = 1u << 20;  // 4 MiB decoded per block
+constexpr int kBlocks = 8;
+constexpr int kBits = 8;
+constexpr int kRepeats = 3;
+
+struct SweepPoint {
+  double requested_rate;
+  double actual_rate;
+  double naive_gb_s;
+  double patched_gb_s;
+  double naive_bmr;
+  double patched_bmr;
+};
+
+std::vector<int32_t> MakeData(double exc_rate, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> values(kValuesPerBlock);
+  const uint32_t sentinel_max = (1u << kBits) - 2;  // NAIVE-encodable codes
+  for (auto& v : values) {
+    if (rng.NextBernoulli(exc_rate)) {
+      v = 1000 + static_cast<int32_t>(rng.NextBounded(1 << 20));
+    } else {
+      v = static_cast<int32_t>(rng.NextBounded(sentinel_max + 1));
+    }
+  }
+  return values;
+}
+
+// Measures decode wall time over all blocks, repeated; returns GB/s of
+// decoded output.
+template <typename DecodeFn>
+double MeasureBandwidth(const std::vector<std::vector<uint8_t>>& blocks,
+                        std::vector<int32_t>* out, DecodeFn&& decode) {
+  double best = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    WallTimer timer;
+    for (const auto& block : blocks) decode(block, out->data());
+    double seconds = timer.ElapsedSeconds();
+    double bytes = static_cast<double>(blocks.size()) * kValuesPerBlock * 4;
+    best = std::max(best, bytes / seconds / 1e9);
+  }
+  return best;
+}
+
+int Run() {
+  std::printf(
+      "=== Figure 3: decompression bandwidth & branch miss rate vs exception "
+      "rate ===\n");
+  std::printf("PFOR b=%d, %d blocks x %u values, best of %d repeats\n\n",
+              kBits, kBlocks, kValuesPerBlock, kRepeats);
+
+  PerfCounterGroup counters;
+  const bool hw = counters.Available();
+  std::printf("branch-miss source: %s\n\n",
+              hw ? "hardware counters (perf_event_open)"
+                 : "gshare predictor simulation (perf_event_open denied)");
+
+  const double rates[] = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3,
+                          0.4, 0.5,  0.6,  0.7,  0.8, 0.9, 1.0};
+  std::vector<SweepPoint> points;
+
+  for (double rate : rates) {
+    // Encode the same data in both layouts.
+    std::vector<std::vector<uint8_t>> naive_blocks(kBlocks);
+    std::vector<std::vector<uint8_t>> patched_blocks(kBlocks);
+    uint64_t total_exc = 0;
+    for (int b = 0; b < kBlocks; ++b) {
+      auto values = MakeData(rate, 42 + static_cast<uint64_t>(b));
+      compress::EncodeOptions naive_opts;
+      naive_opts.bit_width = kBits;
+      naive_opts.naive_layout = true;
+      naive_opts.force_base = true;
+      compress::BlockStats stats;
+      Status s = PforEncode(values.data(), kValuesPerBlock, naive_opts,
+                            &naive_blocks[static_cast<size_t>(b)], &stats);
+      if (!s.ok()) {
+        std::fprintf(stderr, "encode failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      total_exc += stats.n_exceptions;
+      compress::EncodeOptions patched_opts;
+      patched_opts.bit_width = kBits;
+      patched_opts.force_base = true;
+      s = PforEncode(values.data(), kValuesPerBlock, patched_opts,
+                     &patched_blocks[static_cast<size_t>(b)], nullptr);
+      if (!s.ok()) {
+        std::fprintf(stderr, "encode failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+
+    std::vector<int32_t> out(kValuesPerBlock);
+    SweepPoint p;
+    p.requested_rate = rate;
+    p.actual_rate = static_cast<double>(total_exc) /
+                    (static_cast<double>(kBlocks) * kValuesPerBlock);
+
+    auto naive_decode = [](const std::vector<uint8_t>& block, int32_t* dst) {
+      compress::BlockDecoder dec;
+      dec.Init(block.data(), block.size());
+      dec.DecodeNaive(dst);
+    };
+    auto patched_decode = [](const std::vector<uint8_t>& block,
+                             int32_t* dst) {
+      compress::BlockDecoder dec;
+      dec.Init(block.data(), block.size());
+      dec.DecodeAll(dst);
+    };
+
+    if (hw) {
+      PerfReading reading;
+      counters.Start();
+      p.naive_gb_s = MeasureBandwidth(naive_blocks, &out, naive_decode);
+      counters.Stop(&reading);
+      p.naive_bmr = reading.BranchMissRate();
+      counters.Start();
+      p.patched_gb_s = MeasureBandwidth(patched_blocks, &out, patched_decode);
+      counters.Stop(&reading);
+      p.patched_bmr = reading.BranchMissRate();
+    } else {
+      p.naive_gb_s = MeasureBandwidth(naive_blocks, &out, naive_decode);
+      p.patched_gb_s = MeasureBandwidth(patched_blocks, &out, patched_decode);
+      // Simulated BMR over *all* decoder branches (like a hardware
+      // counter): per-value loop-back branches (highly predictable) plus
+      // the data-dependent ones.
+      // NAIVE: per value, the loop branch and the `code < sentinel` test.
+      BranchPredictorSim naive_sim;
+      compress::BlockDecoder dec;
+      dec.Init(naive_blocks[0].data(), naive_blocks[0].size());
+      std::vector<bool> mask;
+      dec.ExceptionMask(&mask);
+      for (size_t i = 0; i < mask.size(); ++i) {
+        naive_sim.Predict(0x10, i + 1 < mask.size());  // loop back
+        naive_sim.Predict(0x100, mask[i]);             // exception test
+      }
+      p.naive_bmr = naive_sim.MissRatePercent();
+      // PATCHED: LOOP1 is a branch-free body with one loop-back branch per
+      // value; LOOP2 runs one (mostly taken) branch per exception plus a
+      // fall-through per 128-value window.
+      BranchPredictorSim patched_sim;
+      compress::BlockDecoder pdec;
+      pdec.Init(patched_blocks[0].data(), patched_blocks[0].size());
+      std::vector<bool> pmask;
+      pdec.ExceptionMask(&pmask);
+      uint32_t per_window = 0;
+      for (size_t i = 0; i < pmask.size(); ++i) {
+        patched_sim.Predict(0x20, i + 1 < pmask.size());  // LOOP1 back edge
+        if (pmask[i]) ++per_window;
+        if ((i + 1) % compress::kEntryPointStride == 0 ||
+            i + 1 == pmask.size()) {
+          for (uint32_t j = 0; j < per_window; ++j) {
+            patched_sim.Predict(0x200, true);
+          }
+          patched_sim.Predict(0x200, false);  // LOOP2 exit
+          per_window = 0;
+        }
+      }
+      p.patched_bmr = patched_sim.MissRatePercent();
+    }
+    points.push_back(p);
+  }
+
+  TablePrinter table({"exc.rate", "NAIVE BW (GB/s)", "PFOR BW (GB/s)",
+                      "NAIVE BMR (%)", "PFOR BMR (%)"});
+  for (const auto& p : points) {
+    table.AddRow({StrFormat("%.2f", p.actual_rate),
+                  StrFormat("%.2f", p.naive_gb_s),
+                  StrFormat("%.2f", p.patched_gb_s),
+                  StrFormat("%.2f", p.naive_bmr),
+                  StrFormat("%.2f", p.patched_bmr)});
+  }
+  table.Print();
+
+  // Shape checks mirroring the figure.
+  double naive_mid = 0, naive_lo = 0, patched_lo = 0;
+  for (const auto& p : points) {
+    if (p.requested_rate == 0.5) naive_mid = p.naive_gb_s;
+    if (p.requested_rate == 0.0) {
+      naive_lo = p.naive_gb_s;
+      patched_lo = p.patched_gb_s;
+    }
+  }
+  std::printf(
+      "\nshape: NAIVE bandwidth at 50%% exceptions is %.1f%% of its "
+      "0%%-exception bandwidth (paper: collapses);\n       PFOR at 0%% "
+      "exceptions reaches %.2f GB/s (paper: ~3.5 GB/s on 2006 hardware).\n",
+      100.0 * naive_mid / naive_lo, patched_lo);
+  return 0;
+}
+
+}  // namespace
+}  // namespace x100ir
+
+int main() { return x100ir::Run(); }

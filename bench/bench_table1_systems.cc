@@ -1,0 +1,124 @@
+// Table 1 context: "custom-built information retrieval engines have always
+// outperformed generic database technology". This bench pits our hand-rolled
+// custom IR engines (document-at-a-time and term-at-a-time over raw in-RAM
+// postings — the kind of system Table 1 lists) against the DBMS formulation
+// running on the vectorized engine, on identical data and the identical
+// BM25 model. The paper's point, reproduced: with vectorized in-cache
+// execution + light-weight compression, the DBMS is competitive.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "ir/custom_engine.h"
+#include "ir/metrics.h"
+#include "ir/search_engine.h"
+
+namespace x100ir {
+namespace {
+
+int Run() {
+  std::printf(
+      "=== Table 1 context: custom IR engines vs the DBMS formulation ===\n\n");
+  core::Database db;
+  bench::CheckOk(bench::OpenBenchDatabase(&db), "open database");
+
+  ir::QueryGenOptions qopts = bench::BenchQueryOptions();
+  ir::QueryGenerator gen(db.corpus(), qopts);
+  ir::Qrels qrels(db.corpus());
+  auto eval_queries = gen.EvalQueries();
+  auto queries = gen.EfficiencyQueries();
+
+  ir::CustomIrEngine custom;
+  bench::CheckOk(custom.Load(db.index()), "load custom engine");
+  std::printf("custom engine resident set: %s (raw uncompressed postings)\n\n",
+              HumanBytes(custom.resident_bytes()).c_str());
+
+  TablePrinter table(
+      {"system", "p@20", "hot avg query time (ms)", "notes"});
+
+  enum class Mode { kDaat, kTaat, kMaxScore };
+  auto add_custom = [&](const char* name, Mode mode, const char* note) {
+    auto run = [&](const ir::Query& q, ir::CustomSearchResult* result) {
+      switch (mode) {
+        case Mode::kDaat:
+          return custom.SearchDaat(q, 20, result);
+        case Mode::kTaat:
+          return custom.SearchTaat(q, 20, result);
+        case Mode::kMaxScore:
+          return custom.SearchMaxScore(q, 20, result);
+      }
+      return Status::Internal("unreachable");
+    };
+    // Precision.
+    std::vector<double> p20s;
+    ir::CustomSearchResult result;
+    for (const auto& q : eval_queries) {
+      bench::CheckOk(run(q, &result), "custom search");
+      p20s.push_back(ir::PrecisionAtK(result.docids, 20, qrels, q.topic));
+    }
+    // Speed (already in-memory == hot).
+    double total = 0.0;
+    for (const auto& q : queries) {
+      bench::CheckOk(run(q, &result), "custom search");
+      total += result.cpu_seconds;
+    }
+    table.AddRow({name, StrFormat("%.4f", ir::Mean(p20s)),
+                  StrFormat("%.3f",
+                            total * 1e3 / static_cast<double>(queries.size())),
+                  note});
+  };
+  add_custom("Custom IR engine (DAAT)", Mode::kDaat,
+             "hand-rolled, raw in-RAM postings");
+  add_custom("Custom IR engine (TAAT)", Mode::kTaat,
+             "hand-rolled, raw in-RAM postings");
+  add_custom("Custom IR engine (MaxScore)", Mode::kMaxScore,
+             "exact top-k pruning (the paper's SS5 future work)");
+
+  for (ir::RunType type :
+       {ir::RunType::kBm25, ir::RunType::kBm25T, ir::RunType::kBm25TCMQ8}) {
+    ir::SearchOptions opts;
+    ir::SearchResult result;
+    std::vector<double> p20s;
+    for (const auto& q : eval_queries) {
+      bench::CheckOk(db.Search(q, type, opts, &result), "search");
+      p20s.push_back(ir::PrecisionAtK(result.docids, 20, qrels, q.topic));
+    }
+    for (const auto& q : queries) {
+      bench::CheckOk(db.Search(q, type, opts, &result), "warm");
+    }
+    double total = 0.0;
+    for (const auto& q : queries) {
+      bench::CheckOk(db.Search(q, type, opts, &result), "search");
+      total += result.TotalSeconds();
+    }
+    table.AddRow({std::string("MonetDB/X100-style DBMS, run ") +
+                      RunTypeName(type),
+                  StrFormat("%.4f", ir::Mean(p20s)),
+                  StrFormat("%.3f",
+                            total * 1e3 / static_cast<double>(queries.size())),
+                  "relational plans on the vectorized engine"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper's Table 1 — top TREC-TB 2005 efficiency results (reference "
+      "only; different hardware/collection):\n"
+      "  MU05TBy3     p@20 0.5550   8 CPUs   24 ms/query\n"
+      "  uwmtEwteD10  p@20 0.3900   2 CPUs   27 ms/query\n"
+      "  MU05TBy1     p@20 0.5620   8 CPUs   42 ms/query\n"
+      "  zetdist      p@20 0.5300   8 CPUs   58 ms/query\n"
+      "  pisaEff4     p@20 0.3420  23 CPUs  143 ms/query\n"
+      "\nThe paper's MonetDB/X100 runs reach p@20 0.546-0.549 at 28-118 "
+      "ms/query on 1 CPU (Table 2) — competitive with the custom engines "
+      "above. The reproduction's claim is the same comparison on the "
+      "synthetic collection: the DBMS's best run should be within a small "
+      "factor of the hand-rolled engines at equal precision.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace x100ir
+
+int main() { return x100ir::Run(); }

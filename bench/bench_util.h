@@ -1,0 +1,90 @@
+// Shared setup for the paper-table reproduction benches.
+//
+// Every bench binary builds (or reuses) the same synthetic TREC-TB-substitute
+// collection under X100IR_BENCH_DIR (default ./bench_data). Scale is chosen
+// so the full bench suite completes in minutes on a laptop while preserving
+// the experiments' shape; set X100IR_BENCH_SCALE=large for a bigger run.
+#ifndef X100IR_BENCH_BENCH_UTIL_H_
+#define X100IR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/database.h"
+#include "ir/query_gen.h"
+
+namespace x100ir::bench {
+
+inline std::string BenchDir() {
+  const char* env = std::getenv("X100IR_BENCH_DIR");
+  return env != nullptr ? std::string(env) : std::string("bench_data");
+}
+
+inline bool LargeScale() {
+  const char* env = std::getenv("X100IR_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "large";
+}
+
+/// The bench collection: a scaled-down GOV2 stand-in (DESIGN.md §3.1).
+inline ir::CorpusOptions BenchCorpusOptions() {
+  ir::CorpusOptions opts;
+  if (LargeScale()) {
+    opts.num_docs = 400000;
+    opts.vocab_size = 100000;
+  } else {
+    opts.num_docs = 60000;
+    opts.vocab_size = 40000;
+  }
+  opts.zipf_s = 1.05;
+  opts.doclen_mu = 5.0;  // ~150 terms/doc typical
+  opts.doclen_sigma = 0.5;
+  opts.num_topics = 60;
+  opts.terms_per_topic = 6;
+  opts.relevant_docs_per_topic = LargeScale() ? 250 : 120;
+  opts.topical_mass = 0.30;
+  opts.topic_rank_min = 30;
+  opts.topic_rank_max = 400;
+  opts.seed = 2007;  // CIDR 2007
+  return opts;
+}
+
+inline ir::QueryGenOptions BenchQueryOptions() {
+  ir::QueryGenOptions opts;
+  opts.num_eval_queries = 50;  // "a subset of 50 preselected queries"
+  opts.num_efficiency_queries = LargeScale() ? 5000 : 1000;
+  opts.seed = 7;
+  return opts;
+}
+
+/// Opens (building if absent) the shared bench database.
+inline Status OpenBenchDatabase(core::Database* db,
+                                const char* subdir = "full") {
+  core::DatabaseOptions opts;
+  opts.dir = BenchDir() + "/" + subdir;
+  opts.corpus = BenchCorpusOptions();
+  std::fprintf(stderr,
+               "[bench] collection: %u docs, %u terms (index dir %s)\n",
+               opts.corpus.num_docs, opts.corpus.vocab_size,
+               opts.dir.c_str());
+  Status s = db->Open(opts);
+  if (s.ok() && db->build_stats().num_postings > 0) {
+    std::fprintf(stderr, "[bench] built index: %llu postings in %.1fs\n",
+                 static_cast<unsigned long long>(
+                     db->build_stats().num_postings),
+                 db->build_stats().build_seconds);
+  }
+  return s;
+}
+
+/// Aborts the bench on error (benches are not recoverable).
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace x100ir::bench
+
+#endif  // X100IR_BENCH_BENCH_UTIL_H_
