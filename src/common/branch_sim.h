@@ -1,0 +1,77 @@
+// Deterministic branch-predictor simulation (DESIGN.md §3.5).
+//
+// Used by bench_fig3_decompression when perf_event_open is denied (common in
+// containers): we replay the decoder's branch trace through a gshare
+// predictor — a table of 2-bit saturating counters indexed by the branch
+// address hashed with a global taken/not-taken history register — and report
+// the miss rate a real front-end would have seen. The table is sized like a
+// small-core BTB-era predictor (4K entries, 12-bit history): enough to learn
+// loop back-edges and short periodic patterns, helpless against
+// data-dependent 50%-random branches, which is exactly the contrast Figure 3
+// plots.
+#ifndef X100IR_COMMON_BRANCH_SIM_H_
+#define X100IR_COMMON_BRANCH_SIM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace x100ir {
+
+class BranchPredictorSim {
+ public:
+  BranchPredictorSim() { table_.fill(1); }  // weakly not-taken
+
+  // Records one dynamic branch at `pc` with actual outcome `taken`.
+  // Returns the prediction made *before* seeing the outcome.
+  bool Predict(uint64_t pc, bool taken) {
+    const uint32_t idx =
+        (HashPc(pc) ^ history_) & (kTableSize - 1);
+    const bool predicted = table_[idx] >= 2;
+    ++predictions_;
+    if (predicted != taken) ++misses_;
+    // 2-bit saturating counter update.
+    if (taken) {
+      if (table_[idx] < 3) ++table_[idx];
+    } else {
+      if (table_[idx] > 0) --table_[idx];
+    }
+    history_ =
+        ((history_ << 1) | static_cast<uint32_t>(taken)) & (kTableSize - 1);
+    return predicted;
+  }
+
+  uint64_t predictions() const { return predictions_; }
+  uint64_t misses() const { return misses_; }
+
+  double MissRatePercent() const {
+    return predictions_ == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(misses_) /
+                     static_cast<double>(predictions_);
+  }
+
+  void Reset() {
+    table_.fill(1);
+    history_ = 0;
+    predictions_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kHistoryBits = 12;
+  static constexpr uint32_t kTableSize = 1u << kHistoryBits;
+
+  static uint32_t HashPc(uint64_t pc) {
+    // Fibonacci hash; branch "addresses" in the sims are small constants.
+    return static_cast<uint32_t>((pc * 0x9E3779B97F4A7C15ull) >> 40);
+  }
+
+  std::array<uint8_t, kTableSize> table_;
+  uint32_t history_ = 0;
+  uint64_t predictions_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_BRANCH_SIM_H_

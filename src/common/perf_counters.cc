@@ -1,0 +1,83 @@
+#include "common/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace x100ir {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenCounter(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this process, any CPU.
+  long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+  return static_cast<int>(fd);
+}
+
+uint64_t ReadCounter(int fd) {
+  uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) value = 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  branches_fd_ = OpenCounter(PERF_COUNT_HW_BRANCH_INSTRUCTIONS);
+  misses_fd_ = OpenCounter(PERF_COUNT_HW_BRANCH_MISSES);
+  if (!Available()) {
+    // Partial grants are useless; release whichever half succeeded.
+    if (branches_fd_ >= 0) close(branches_fd_);
+    if (misses_fd_ >= 0) close(misses_fd_);
+    branches_fd_ = -1;
+    misses_fd_ = -1;
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  if (branches_fd_ >= 0) close(branches_fd_);
+  if (misses_fd_ >= 0) close(misses_fd_);
+}
+
+void PerfCounterGroup::Start() {
+  if (!Available()) return;
+  ioctl(branches_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(misses_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(branches_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  ioctl(misses_fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void PerfCounterGroup::Stop(PerfReading* out) {
+  *out = PerfReading();
+  if (!Available()) return;
+  ioctl(branches_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  ioctl(misses_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  out->branches = ReadCounter(branches_fd_);
+  out->branch_misses = ReadCounter(misses_fd_);
+}
+
+#else  // !defined(__linux__)
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::Start() {}
+void PerfCounterGroup::Stop(PerfReading* out) { *out = PerfReading(); }
+
+#endif
+
+}  // namespace x100ir

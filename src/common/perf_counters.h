@@ -1,0 +1,48 @@
+// Hardware branch counters via perf_event_open, with graceful degradation:
+// in containers / locked-down kernels (perf_event_paranoid, seccomp) the
+// syscall fails and Available() returns false — callers then fall back to
+// the BranchPredictorSim (see bench_fig3_decompression).
+#ifndef X100IR_COMMON_PERF_COUNTERS_H_
+#define X100IR_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace x100ir {
+
+struct PerfReading {
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+
+  // Percent of retired branches mispredicted.
+  double BranchMissRate() const {
+    return branches == 0 ? 0.0
+                         : 100.0 * static_cast<double>(branch_misses) /
+                               static_cast<double>(branches);
+  }
+};
+
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when the kernel granted both counters at construction.
+  bool Available() const { return branches_fd_ >= 0 && misses_fd_ >= 0; }
+
+  // Resets and enables the counters. No-op when unavailable.
+  void Start();
+
+  // Disables the counters and stores the deltas since Start(). Zeroes *out*
+  // when unavailable.
+  void Stop(PerfReading* out);
+
+ private:
+  int branches_fd_ = -1;
+  int misses_fd_ = -1;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_PERF_COUNTERS_H_

@@ -1,0 +1,61 @@
+// Deterministic xorshift64* PRNG. Benches and the synthetic-corpus builder
+// must produce bit-identical streams across platforms and stdlib versions,
+// so we avoid <random> entirely.
+#ifndef X100IR_COMMON_RNG_H_
+#define X100IR_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace x100ir {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(SplitMix64(seed)) {
+    // xorshift64* has an all-zero fixed point; SplitMix64(seed) is only zero
+    // for one pathological seed, but guard anyway.
+    if (state_ == 0) state_ = 0x9E3779B97F4A7C15ull;
+  }
+
+  // Next raw 64-bit draw (xorshift64*).
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Uniform in [0, bound); returns 0 for bound == 0. Modulo bias is
+  // irrelevant at the bounds used here (<< 2^32) and keeps the stream
+  // platform-stable.
+  uint64_t NextBounded(uint64_t bound) {
+    return bound == 0 ? 0 : Next() % bound;
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_RNG_H_

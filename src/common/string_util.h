@@ -1,0 +1,60 @@
+// printf-style std::string formatting plus small presentation helpers.
+#ifndef X100IR_COMMON_STRING_UTIL_H_
+#define X100IR_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace x100ir {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define X100IR_PRINTF_ATTR(fmt_idx, args_idx) \
+  __attribute__((format(printf, fmt_idx, args_idx)))
+#else
+#define X100IR_PRINTF_ATTR(fmt_idx, args_idx)
+#endif
+
+inline std::string StrFormatV(const char* fmt, va_list ap) {
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  char stack_buf[256];
+  int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap_copy);
+  va_end(ap_copy);
+  if (needed < 0) return std::string();
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    return std::string(stack_buf, static_cast<size_t>(needed));
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(&out[0], out.size() + 1, fmt, ap);
+  return out;
+}
+
+inline std::string StrFormat(const char* fmt, ...) X100IR_PRINTF_ATTR(1, 2);
+
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = StrFormatV(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+// "12.3 GB", "45.6 MB", "789 B" — for footprint reporting.
+inline std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? StrFormat("%llu B", static_cast<unsigned long long>(bytes))
+                   : StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,77 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace x100ir {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendPadded(std::string* out, const std::string& cell, size_t width,
+                  bool right_align) {
+  size_t pad = width > cell.size() ? width - cell.size() : 0;
+  if (right_align) out->append(pad, ' ');
+  out->append(cell);
+  if (!right_align) out->append(pad, ' ');
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  const size_t ncols = headers_.size();
+  std::vector<size_t> widths(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (size_t c = 0; c < ncols; ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!row[c].empty() && !LooksNumeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::string out;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c > 0) out += "  ";
+    // Headers align with their column: numeric columns are right-aligned.
+    AppendPadded(&out, headers_[c], widths[c], numeric[c]);
+  }
+  out += '\n';
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c > 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c > 0) out += "  ";
+      AppendPadded(&out, row[c], widths[c], numeric[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace x100ir

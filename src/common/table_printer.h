@@ -1,0 +1,28 @@
+// Fixed-width ASCII table output for the paper-table reproduction benches.
+#ifndef X100IR_COMMON_TABLE_PRINTER_H_
+#define X100IR_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace x100ir {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Missing trailing cells render empty; extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  std::string ToString() const;
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+// Wall-clock timing for benches (steady_clock so NTP adjustments can't
+// produce negative intervals mid-measurement).
+#ifndef X100IR_COMMON_TIMER_H_
+#define X100IR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace x100ir {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_TIMER_H_

@@ -1,0 +1,112 @@
+// Internal block wire format + the shared block builder used by the three
+// encoders (pfor.cc, pfor_delta.cc, pdict.cc). Not part of the public API.
+#ifndef X100IR_COMPRESS_BLOCK_LAYOUT_H_
+#define X100IR_COMPRESS_BLOCK_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/codec.h"
+
+namespace x100ir::compress::internal {
+
+inline constexpr uint32_t kBlockMagic = 0x58314330;  // "0C1X" on LE disk
+inline constexpr uint32_t kNoException = 0xFFFFFFFFu;
+// Trailing slack so LOOP1's unaligned 64-bit loads on the last codewords
+// never read past the buffer.
+inline constexpr uint32_t kBlockPadBytes = 8;
+
+struct BlockHeader {
+  uint32_t magic;
+  uint8_t scheme;
+  uint8_t bit_width;
+  uint8_t flags;  // bit 0: naive layout
+  uint8_t reserved;
+  uint32_t n;
+  int32_t base;
+  uint32_t n_exceptions;
+  uint32_t dict_count;   // logical dictionary entries (PDICT), 0 otherwise
+  uint32_t entry_count;  // ceil(n / kEntryPointStride)
+  uint32_t dict_offset;  // byte offsets from block start; 0 when absent
+  uint32_t code_offset;
+  uint32_t exc_offset;
+};
+static_assert(sizeof(BlockHeader) == 40, "packed header layout");
+
+// first_exc == kDenseWindow marks a window stored raw (see EntryPoint).
+inline constexpr uint32_t kDenseWindow = 0xFFFFFFFEu;
+
+struct EntryPoint {
+  uint32_t exc_start;    // index of this window's first exception record
+  uint32_t first_exc;    // in-window slot of the first exception,
+                         // kNoException, or kDenseWindow
+  int32_t value_base;    // running value before the window (PFOR-DELTA)
+  uint32_t payload_off;  // window payload, bytes from code_offset: packed
+                         // codewords, or raw int32 values (dense)
+};
+static_assert(sizeof(EntryPoint) == 16, "packed entry layout");
+
+// One entry in the exceptions section: the decoded value plus the
+// block-absolute slot it patches. The codeword slots still carry the
+// paper's linked exception list (first_exc + per-slot links), which
+// ExceptionMask and the branch-trace sims walk; the materialized positions
+// are what turn LOOP2 from a serial pointer chase (each link load feeds the
+// next slot address) into a dependence-free sequential scan — one 8-byte
+// load, one scattered store per exception, pipelining at store throughput.
+struct ExceptionRecord {
+  int32_t value;
+  uint32_t pos;
+};
+static_assert(sizeof(ExceptionRecord) == 8, "packed exception layout");
+
+inline constexpr uint8_t kFlagNaiveLayout = 1;
+
+// Bytes occupied by a window of `wn` packed codewords at width b, padded to
+// 4-byte alignment so raw (dense) windows interleave cleanly in the same
+// payload section. Full windows occupy exactly 16*b bytes (128*b bits).
+inline uint32_t WindowBytes(uint32_t wn, int b) {
+  return ((wn * static_cast<uint32_t>(b) + 7) / 8 + 3u) & ~3u;
+}
+
+// A window is stored dense (raw int32 payload, no codewords, no exception
+// records) whenever that is no larger than the patched form — the
+// "compression must never lose to raw" rule applied per window. Decode-side
+// a dense window is a memcpy, so bandwidth degrades toward memcpy speed —
+// not toward zero — as the exception rate climbs.
+inline bool DenseWins(uint32_t wn, int b, size_t nexc) {
+  return 4u * wn < WindowBytes(wn, b) + sizeof(ExceptionRecord) * nexc;
+}
+
+// Everything BuildBlock needs, pre-transformed by the scheme encoder:
+//   syms[i]     — the codeword-domain symbol (value-base, delta-base, or
+//                 dictionary code; any value outside [0, max_code] marks a
+//                 natural exception; pdict uses -1 for out-of-dict),
+//   payloads[i] — the 32-bit value to store in the exceptions section if
+//                 position i ends up an exception (raw value or raw delta).
+struct BlockBuildInput {
+  Scheme scheme = Scheme::kPfor;
+  int bit_width = 0;  // resolved, 1..kMaxBitWidth
+  bool naive_layout = false;
+  int32_t base = 0;
+  uint32_t n = 0;
+  const int64_t* syms = nullptr;
+  const int32_t* payloads = nullptr;
+  // Per-window running bases (PFOR-DELTA); nullptr = all zero.
+  const int32_t* window_value_bases = nullptr;
+  // Padded dictionary of (1 << bit_width) int32 entries (PDICT only).
+  const int32_t* dict = nullptr;
+  uint32_t dict_count = 0;
+};
+
+Status BuildBlock(const BlockBuildInput& in, std::vector<uint8_t>* out,
+                  BlockStats* stats);
+
+// Auto width selection: minimizes estimated bytes (codewords plus
+// sizeof(ExceptionRecord) per natural exception; compulsory exceptions and
+// dense-window savings are ignored in the estimate).
+int ChooseBitWidth(const int64_t* syms, uint32_t n, bool naive_layout);
+
+}  // namespace x100ir::compress::internal
+
+#endif  // X100IR_COMPRESS_BLOCK_LAYOUT_H_

@@ -1,0 +1,178 @@
+// Block format and decoder for the superscalar compression schemes of
+// MonetDB/X100 (§3.3): PFOR, PFOR-DELTA and PDICT.
+//
+// A block is a self-describing byte buffer:
+//
+//   [header | entry points | dictionary (PDICT) | window payloads |
+//    exception records | pad]
+//
+// Codewords are b-bit, bit-packed per 128-value window (kEntryPointStride).
+// Each window's payload starts 4-byte aligned at its entry point's offset,
+// so Decode(pos, len) can jump to any window without scanning — the
+// fine-granularity skipping used when merging inverted lists. Values that
+// don't fit b bits are *exceptions*: their codeword slot stores the paper's
+// linked exception list (distance to the next exception in the window), and
+// an 8-byte record {value, position} lands in the exceptions section.
+// Decompression is two tight loops:
+//
+//   LOOP1: branch-free bit-unpacking of all codewords (+FOR base / dict
+//          gather) — no data-dependent branches at all;
+//   LOOP2: patch the decoded array from the exception records — sequential
+//          loads, scattered stores, no data-dependent branches; the
+//          materialized positions keep the slot links off the critical
+//          path, so patching pipelines instead of pointer-chasing.
+//
+// Two escape hatches complete the scheme:
+//   - dense windows: when the patched form of a window would be no smaller
+//     than raw (high exception density), the encoder stores the 128 values
+//     raw and decode is a memcpy — bandwidth degrades toward memcpy speed
+//     as the exception rate climbs, never toward zero;
+//   - the naive layout (EncodeOptions::naive_layout) reserves the top
+//     codeword as an exception sentinel and tests it per value — the
+//     if-then-else decoder whose branch-miss collapse Figure 3 plots.
+//
+// The format assumes a little-endian host (x86/ARM); headers and codewords
+// are stored in host byte order.
+#ifndef X100IR_COMPRESS_CODEC_H_
+#define X100IR_COMPRESS_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace x100ir::compress {
+
+// Window granularity for entry points / skipping. Every window starts
+// byte-aligned in the codeword section and has its own exception-list head.
+inline constexpr uint32_t kEntryPointStride = 128;
+
+// Maximum codeword width. 30 keeps `base + code` safely inside int32 and
+// every unaligned 64-bit load self-contained (7 + 30 < 64 bits).
+inline constexpr int kMaxBitWidth = 30;
+
+// PDICT dictionaries are padded to 1 << b entries; cap the width so a
+// degenerate dictionary can't explode the block.
+inline constexpr int kMaxDictBitWidth = 20;
+
+enum class Scheme : uint8_t {
+  kPfor = 0,
+  kPforDelta = 1,
+  kPdict = 2,
+};
+
+struct EncodeOptions {
+  // Codeword width in bits (1..kMaxBitWidth). 0 = choose automatically by
+  // minimizing estimated compressed size.
+  int bit_width = 0;
+
+  // Use the branchy sentinel layout instead of patching (Figure 3 baseline).
+  // Not supported for PDICT.
+  bool naive_layout = false;
+
+  // Use 0 as the frame-of-reference base instead of the column minimum.
+  // Keeps codewords equal to raw values, which benches rely on for
+  // controlled exception rates.
+  bool force_base = false;
+};
+
+struct BlockStats {
+  uint32_t n = 0;
+  int bit_width = 0;
+  // Total exceptions stored, including compulsory ones (values that fit b
+  // bits but were forced into the exception list to keep a link
+  // representable).
+  uint32_t n_exceptions = 0;
+  uint32_t n_compulsory_exceptions = 0;
+  // Windows stored raw because the patched form would have been larger
+  // ("compression never loses to raw", applied per 128-value window).
+  uint32_t n_dense_windows = 0;
+  size_t compressed_bytes = 0;
+
+  double BitsPerValue() const {
+    return n == 0 ? 0.0
+                  : 8.0 * static_cast<double>(compressed_bytes) /
+                        static_cast<double>(n);
+  }
+};
+
+class BlockDecoder {
+ public:
+  BlockDecoder() = default;
+
+  // Parses the header and structurally validates it (magic, offsets,
+  // entry points — O(entry_count)). The decoder borrows `data` (must stay
+  // alive and must be 4-byte aligned — vector<uint8_t>::data() is).
+  Status Init(const uint8_t* data, size_t size);
+
+  // Deep validation of the block payload (O(n)): exception record
+  // positions (corruption would become an out-of-bounds write in LOOP2)
+  // and, for naive blocks, the sentinel/record count match (corruption
+  // would read past the exceptions section). Init skips it to keep the
+  // open-and-decode hot path lean; call this before decoding blocks from
+  // untrusted sources.
+  Status Validate() const;
+
+  uint32_t n() const { return n_; }
+  Scheme scheme() const { return scheme_; }
+  int bit_width() const { return bit_width_; }
+  bool naive_layout() const { return naive_layout_; }
+  int32_t base() const { return base_; }
+  uint32_t n_exceptions() const { return n_exceptions_; }
+  uint32_t entry_count() const { return entry_count_; }
+
+  // Decompresses the whole block into out[0..n). Uses the two-loop patched
+  // decoder (LOOP1 branch-free unpack, LOOP2 exception patching); on
+  // naive-layout blocks falls back to the sentinel decoder.
+  void DecodeAll(int32_t* out) const;
+
+  // The Figure 3 baseline: per-value if-then-else on the exception sentinel.
+  // Only meaningful on naive-layout blocks (delegates to DecodeAll
+  // otherwise).
+  void DecodeNaive(int32_t* out) const;
+
+  // Range decode: out[0..len) = values[pos..pos+len). Touches only the
+  // windows overlapping the range (cost scales with len, not block size).
+  // Out-of-range [pos, pos+len) is clamped to the block.
+  void Decode(uint32_t pos, uint32_t len, int32_t* out) const;
+
+  // mask[i] = true iff value i is stored as an exception. For branch-trace
+  // simulation (DESIGN.md §3.5).
+  void ExceptionMask(std::vector<bool>* mask) const;
+
+ private:
+  struct Entry {
+    uint32_t exc_start;
+    uint32_t first_exc;
+    int32_t value_base;
+    uint32_t payload_off;
+  };
+
+  Entry EntryAt(uint32_t w) const;
+  uint32_t WindowLen(uint32_t w) const;
+  uint32_t ExceptionsInWindow(uint32_t w, Entry* entry) const;
+  // Decodes window w fully into dst[0..WindowLen(w)).
+  void DecodeWindow(uint32_t w, int32_t* dst) const;
+  void DecodeWindowNaive(uint32_t w, int32_t* dst) const;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  const uint8_t* entries_ = nullptr;
+  const uint8_t* codes_ = nullptr;
+  // 8-byte {value, block-absolute pos} records (internal::ExceptionRecord).
+  const uint8_t* exceptions_ = nullptr;
+  const int32_t* dict_ = nullptr;
+
+  Scheme scheme_ = Scheme::kPfor;
+  int bit_width_ = 0;
+  bool naive_layout_ = false;
+  int32_t base_ = 0;
+  uint32_t n_ = 0;
+  uint32_t n_exceptions_ = 0;
+  uint32_t entry_count_ = 0;
+};
+
+}  // namespace x100ir::compress
+
+#endif  // X100IR_COMPRESS_CODEC_H_

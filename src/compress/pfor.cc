@@ -1,0 +1,40 @@
+#include "compress/pfor.h"
+
+#include <algorithm>
+
+#include "compress/block_layout.h"
+
+namespace x100ir::compress {
+
+Status PforEncode(const int32_t* values, uint32_t n,
+                  const EncodeOptions& opts, std::vector<uint8_t>* out,
+                  BlockStats* stats) {
+  if (n > 0 && values == nullptr) return InvalidArgument("null values");
+
+  int32_t base = 0;
+  if (!opts.force_base && n > 0) {
+    base = *std::min_element(values, values + n);
+  }
+
+  std::vector<int64_t> syms(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    syms[i] = static_cast<int64_t>(values[i]) - base;
+  }
+
+  int b = opts.bit_width;
+  if (b == 0) {
+    b = internal::ChooseBitWidth(syms.data(), n, opts.naive_layout);
+  }
+
+  internal::BlockBuildInput in;
+  in.scheme = Scheme::kPfor;
+  in.bit_width = b;
+  in.naive_layout = opts.naive_layout;
+  in.base = base;
+  in.n = n;
+  in.syms = syms.data();
+  in.payloads = values;  // exceptions store the raw value
+  return internal::BuildBlock(in, out, stats);
+}
+
+}  // namespace x100ir::compress

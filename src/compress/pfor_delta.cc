@@ -1,0 +1,62 @@
+#include "compress/pfor_delta.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "compress/block_layout.h"
+
+namespace x100ir::compress {
+
+Status PforDeltaEncode(const int32_t* values, uint32_t n,
+                       const EncodeOptions& opts, std::vector<uint8_t>* out,
+                       BlockStats* stats) {
+  if (n > 0 && values == nullptr) return InvalidArgument("null values");
+
+  std::vector<int32_t> deltas(n);
+  int32_t prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const int64_t d = static_cast<int64_t>(values[i]) - prev;
+    if (d < INT32_MIN || d > INT32_MAX) {
+      return InvalidArgument("delta exceeds 32 bits (unsorted input?)");
+    }
+    deltas[i] = static_cast<int32_t>(d);
+    prev = values[i];
+  }
+
+  int32_t base = 0;
+  if (!opts.force_base && n > 0) {
+    base = *std::min_element(deltas.begin(), deltas.end());
+  }
+
+  std::vector<int64_t> syms(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    syms[i] = static_cast<int64_t>(deltas[i]) - base;
+  }
+
+  int b = opts.bit_width;
+  if (b == 0) {
+    b = internal::ChooseBitWidth(syms.data(), n, opts.naive_layout);
+  }
+
+  // Running value before each window, so LOOP3 can prefix-sum any window
+  // independently.
+  const uint32_t entry_count =
+      (n + kEntryPointStride - 1) / kEntryPointStride;
+  std::vector<int32_t> window_bases(entry_count);
+  for (uint32_t w = 0; w < entry_count; ++w) {
+    window_bases[w] = w == 0 ? 0 : values[w * kEntryPointStride - 1];
+  }
+
+  internal::BlockBuildInput in;
+  in.scheme = Scheme::kPforDelta;
+  in.bit_width = b;
+  in.naive_layout = opts.naive_layout;
+  in.base = base;
+  in.n = n;
+  in.syms = syms.data();
+  in.payloads = deltas.data();  // exceptions store the raw delta
+  in.window_value_bases = window_bases.data();
+  return internal::BuildBlock(in, out, stats);
+}
+
+}  // namespace x100ir::compress

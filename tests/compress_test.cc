@@ -1,0 +1,590 @@
+// Round-trip and range-decode tests for the PFOR / PFOR-DELTA / PDICT block
+// codecs across bit widths, exception rates, and awkward block lengths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "compress/pdict.h"
+#include "compress/pfor.h"
+#include "compress/pfor_delta.h"
+
+namespace x100ir::compress {
+namespace {
+
+std::vector<int32_t> MakeData(uint32_t n, int bits, double exc_rate,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> v(n);
+  const uint32_t max_code = bits >= 31 ? 0x7FFFFFFFu : (1u << bits) - 1;
+  for (auto& x : v) {
+    if (rng.NextBernoulli(exc_rate)) {
+      x = static_cast<int32_t>(max_code) +
+          1 + static_cast<int32_t>(rng.NextBounded(1 << 20));
+    } else {
+      x = static_cast<int32_t>(rng.NextBounded(max_code));
+    }
+  }
+  return v;
+}
+
+std::vector<int32_t> MakeSorted(uint32_t n, uint64_t seed,
+                                uint32_t max_gap = 30) {
+  Rng rng(seed);
+  std::vector<int32_t> v(n);
+  int32_t cur = 0;
+  for (auto& x : v) {
+    cur += 1 + static_cast<int32_t>(rng.NextBounded(max_gap));
+    x = cur;
+  }
+  return v;
+}
+
+std::vector<int32_t> RoundTrip(const std::vector<int32_t>& values,
+                               const EncodeOptions& opts,
+                               Status (*encode)(const int32_t*, uint32_t,
+                                                const EncodeOptions&,
+                                                std::vector<uint8_t>*,
+                                                BlockStats*),
+                               BlockStats* stats = nullptr) {
+  std::vector<uint8_t> block;
+  Status s = encode(values.data(), static_cast<uint32_t>(values.size()), opts,
+                    &block, stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  BlockDecoder dec;
+  s = dec.Init(block.data(), block.size());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(dec.n(), values.size());
+  std::vector<int32_t> out(values.size());
+  dec.DecodeAll(out.data());
+  return out;
+}
+
+TEST(Pfor, RoundTripAllBitWidths) {
+  for (int bits = 1; bits <= 30; ++bits) {
+    auto values = MakeData(5000, bits, 0.01, 100 + bits);
+    EncodeOptions opts;
+    opts.bit_width = bits;
+    auto out = RoundTrip(values, opts, &PforEncode);
+    ASSERT_EQ(out, values) << "bit width " << bits;
+  }
+}
+
+TEST(Pfor, RoundTripExceptionRates) {
+  for (double rate : {0.0, 0.01, 0.5, 1.0}) {
+    for (int bits : {4, 8, 16}) {
+      auto values = MakeData(4096, bits, rate, 7);
+      EncodeOptions opts;
+      opts.bit_width = bits;
+      // Pin base = 0 so the requested exception rate is the actual one
+      // (otherwise FOR re-centers on min(values) and absorbs outliers).
+      opts.force_base = true;
+      BlockStats stats;
+      auto out = RoundTrip(values, opts, &PforEncode, &stats);
+      ASSERT_EQ(out, values) << "rate " << rate << " bits " << bits;
+      if (rate == 0.0) {
+        EXPECT_EQ(stats.n_compulsory_exceptions, 0u);
+        EXPECT_EQ(stats.n_dense_windows, 0u);
+      }
+      if (rate == 1.0) {
+        // Every window is all-exceptions, so the encoder stores them raw
+        // (dense) — the block must stay near 4 bytes/value, not the ~12 a
+        // fully patched window would cost.
+        EXPECT_EQ(stats.n_dense_windows, 4096u / kEntryPointStride);
+        EXPECT_LT(stats.BitsPerValue(), 36.0);
+      }
+    }
+  }
+}
+
+TEST(Pfor, EmptyBlock) {
+  std::vector<int32_t> values;
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  auto out = RoundTrip(values, opts, &PforEncode);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Pfor, SingleValue) {
+  for (int32_t v : {0, 1, 255, 1 << 20, -5}) {
+    std::vector<int32_t> values = {v};
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    opts.force_base = true;
+    auto out = RoundTrip(values, opts, &PforEncode);
+    ASSERT_EQ(out, values) << "value " << v;
+  }
+}
+
+TEST(Pfor, NonMultipleOf128Lengths) {
+  for (uint32_t n : {1u, 127u, 128u, 129u, 1000u, 4095u}) {
+    auto values = MakeData(n, 8, 0.1, n);
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    auto out = RoundTrip(values, opts, &PforEncode);
+    ASSERT_EQ(out, values) << "n = " << n;
+  }
+}
+
+TEST(Pfor, AutoBitWidthSelection) {
+  // Mostly 6-bit values with rare large outliers: auto selection should
+  // land near 6 bits, not 30.
+  auto values = MakeData(1 << 16, 6, 0.005, 11);
+  EncodeOptions opts;
+  opts.bit_width = 0;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PforEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_GE(stats.bit_width, 4);
+  EXPECT_LE(stats.bit_width, 10);
+  EXPECT_LT(stats.BitsPerValue(), 12.0);
+}
+
+TEST(Pfor, FrameOfReferenceBase) {
+  // Values clustered near 1e6: FOR base should make them 4-bit encodable.
+  Rng rng(13);
+  std::vector<int32_t> values(2000);
+  for (auto& v : values) {
+    v = 1000000 + static_cast<int32_t>(rng.NextBounded(14));
+  }
+  EncodeOptions opts;
+  opts.bit_width = 4;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PforEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_EQ(stats.n_exceptions, 0u);
+}
+
+TEST(Pfor, NegativeValuesBecomeExceptionsWithForcedBase) {
+  std::vector<int32_t> values = {5, -1, 200, -1000000, 17, 3};
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.force_base = true;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PforEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_GE(stats.n_exceptions, 2u);
+}
+
+TEST(Pfor, NaiveLayoutRoundTrip) {
+  for (double rate : {0.0, 0.01, 0.5, 1.0}) {
+    auto values = MakeData(4096, 8, rate, 23);
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    opts.naive_layout = true;
+    opts.force_base = true;
+    std::vector<uint8_t> block;
+    ASSERT_TRUE(PforEncode(values.data(), 4096, opts, &block, nullptr).ok());
+    BlockDecoder dec;
+    ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+    EXPECT_TRUE(dec.naive_layout());
+    std::vector<int32_t> out(values.size());
+    dec.DecodeNaive(out.data());
+    ASSERT_EQ(out, values) << "rate " << rate;
+    // DecodeAll must agree on naive blocks.
+    std::vector<int32_t> out2(values.size());
+    dec.DecodeAll(out2.data());
+    ASSERT_EQ(out2, values);
+  }
+}
+
+TEST(Pfor, NaiveSentinelValueIsException) {
+  // The all-ones codeword is reserved in the naive layout, so a value equal
+  // to it must round-trip through the exception section.
+  std::vector<int32_t> values = {0, 255, 254, 255, 1};
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.naive_layout = true;
+  opts.force_base = true;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PforEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_EQ(stats.n_exceptions, 2u);
+}
+
+TEST(Pfor, CompulsoryExceptionsAtSmallWidths) {
+  // b=2: links reach at most 4 positions, so sparse exceptions force
+  // compulsory intermediates — and the block must still round-trip.
+  Rng rng(31);
+  std::vector<int32_t> values(2048);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = i % 97 == 0 ? 1000 : static_cast<int32_t>(rng.NextBounded(4));
+  }
+  EncodeOptions opts;
+  opts.bit_width = 2;
+  opts.force_base = true;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PforEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_GT(stats.n_compulsory_exceptions, 0u);
+}
+
+TEST(Pfor, RangeDecodeMatchesDecodeAll) {
+  auto values = MakeData(10000, 8, 0.05, 41);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforEncode(values.data(), 10000, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto pos = static_cast<uint32_t>(rng.NextBounded(10000));
+    const auto len =
+        static_cast<uint32_t>(1 + rng.NextBounded(10000 - pos));
+    std::vector<int32_t> out(len, -12345);
+    dec.Decode(pos, len, out.data());
+    for (uint32_t i = 0; i < len; ++i) {
+      ASSERT_EQ(out[i], values[pos + i])
+          << "pos " << pos << " len " << len << " i " << i;
+    }
+  }
+}
+
+TEST(Pfor, RangeDecodeClampsOutOfRange) {
+  auto values = MakeData(300, 8, 0.0, 47);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforEncode(values.data(), 300, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  std::vector<int32_t> out(300, -1);
+  dec.Decode(290, 100, out.data());  // only 10 values exist
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], values[290 + i]);
+  EXPECT_EQ(out[10], -1);
+  dec.Decode(5000, 10, out.data());  // fully out of range: no write
+  EXPECT_EQ(out[10], -1);
+}
+
+TEST(Pfor, ExceptionMaskMatchesData) {
+  for (bool naive : {false, true}) {
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    opts.naive_layout = naive;
+    opts.force_base = true;
+    // 10% exceptions: low enough that no window trips the dense escape
+    // (dense windows store no exceptions to flag).
+    auto values = MakeData(1000, 8, 0.1, 53);
+    std::vector<uint8_t> block;
+    ASSERT_TRUE(PforEncode(values.data(), 1000, opts, &block, nullptr).ok());
+    BlockDecoder dec;
+    ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+    std::vector<bool> mask;
+    dec.ExceptionMask(&mask);
+    ASSERT_EQ(mask.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] > 255) {
+        // Natural exceptions must always be flagged (the patched layout may
+        // additionally flag compulsory ones, but not at b=8).
+        EXPECT_TRUE(mask[i]) << (naive ? "naive" : "patched") << " i=" << i;
+      } else if (!naive) {
+        EXPECT_FALSE(mask[i]) << "patched i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Pfor, InvalidArgumentsRejected) {
+  std::vector<int32_t> values = {1, 2, 3};
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = 31;  // > kMaxBitWidth
+  EXPECT_FALSE(PforEncode(values.data(), 3, opts, &block, nullptr).ok());
+  opts.bit_width = -3;
+  EXPECT_FALSE(PforEncode(values.data(), 3, opts, &block, nullptr).ok());
+  opts.bit_width = 8;
+  ASSERT_TRUE(PforEncode(values.data(), 3, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  EXPECT_FALSE(dec.Init(block.data(), 4).ok());  // truncated
+  block[0] ^= 0xFF;                              // corrupt magic
+  EXPECT_FALSE(dec.Init(block.data(), block.size()).ok());
+}
+
+TEST(Codec, InitRejectsCraftedHeaders) {
+  // A header whose value count implies far more entry points than the
+  // block can hold must not pass Init (it would read out of bounds).
+  std::vector<int32_t> values(300, 7);
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  ASSERT_TRUE(PforEncode(values.data(), 300, opts, &block, nullptr).ok());
+  auto corrupt = [&](size_t offset, uint32_t v) {
+    std::vector<uint8_t> bad = block;
+    std::memcpy(bad.data() + offset, &v, 4);
+    BlockDecoder dec;
+    return dec.Init(bad.data(), bad.size());
+  };
+  EXPECT_FALSE(corrupt(8, 0x40000000u).ok());   // n blown up
+  EXPECT_FALSE(corrupt(32, 44u).ok());          // code_offset into entries
+  EXPECT_FALSE(corrupt(16, 0xFFFFFFu).ok());    // n_exceptions blown up
+  // Second entry point's payload_off bent to alias the first window:
+  // DecodeAll's batched unpack assumes canonical back-to-back payloads.
+  EXPECT_FALSE(corrupt(40 + 16 + 12, 0u).ok());
+  EXPECT_FALSE(corrupt(36, 41u).ok());  // exc_offset misaligned
+}
+
+TEST(Codec, ValidateCatchesCorruptExceptionRecords) {
+  auto values = MakeData(1000, 8, 0.1, 131);
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.force_base = true;
+  BlockStats stats;
+  ASSERT_TRUE(PforEncode(values.data(), 1000, opts, &block, &stats).ok());
+  ASSERT_GT(stats.n_exceptions, 0u);
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  EXPECT_TRUE(dec.Validate().ok());
+  // Smash the first record's position to point far outside the block's
+  // value range: Validate must flag what DecodeAll would have turned into
+  // an out-of-bounds write.
+  const uint32_t huge = 1u << 30;
+  std::memcpy(block.data() + block.size() - 8 /*pad*/ -
+                  8ull * stats.n_exceptions + 4,
+              &huge, 4);
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  EXPECT_FALSE(dec.Validate().ok());
+}
+
+TEST(Codec, ValidateCatchesForgedNaiveSentinels) {
+  // A naive block whose codewords claim more exceptions than there are
+  // records would read past the exceptions section during decode.
+  std::vector<int32_t> values(256, 3);
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.naive_layout = true;
+  opts.force_base = true;
+  ASSERT_TRUE(PforEncode(values.data(), 256, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  EXPECT_TRUE(dec.Validate().ok());
+  // Flip one codeword to the all-ones sentinel without adding a record.
+  const size_t code_offset = 40 + 2 * 16;  // header + 2 entry points
+  block[code_offset] = 0xFF;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  EXPECT_FALSE(dec.Validate().ok());
+}
+
+TEST(Pdict, RejectsOutOfRangeBitWidth) {
+  std::vector<int32_t> values = {1, 2, 3};
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = -3;
+  EXPECT_FALSE(PdictEncode(values.data(), 3, opts, &block, nullptr).ok());
+  opts.bit_width = 21;  // > kMaxDictBitWidth
+  EXPECT_FALSE(PdictEncode(values.data(), 3, opts, &block, nullptr).ok());
+}
+
+TEST(PforDelta, RoundTripSortedDocids) {
+  for (int bits : {0, 4, 8, 16}) {
+    auto docids = MakeSorted(20000, 61 + bits);
+    EncodeOptions opts;
+    opts.bit_width = bits;
+    auto out = RoundTrip(docids, opts, &PforDeltaEncode);
+    ASSERT_EQ(out, docids) << "bits " << bits;
+  }
+}
+
+TEST(PforDelta, RoundTripAllBitWidths) {
+  for (int bits = 1; bits <= 30; ++bits) {
+    auto docids = MakeSorted(3000, 200 + bits, /*max_gap=*/1u << (bits / 2));
+    EncodeOptions opts;
+    opts.bit_width = bits;
+    auto out = RoundTrip(docids, opts, &PforDeltaEncode);
+    ASSERT_EQ(out, docids) << "bits " << bits;
+  }
+}
+
+TEST(PforDelta, AwkwardLengths) {
+  for (uint32_t n : {0u, 1u, 127u, 129u, 777u}) {
+    auto docids = MakeSorted(n, 71 + n);
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    auto out = RoundTrip(docids, opts, &PforDeltaEncode);
+    ASSERT_EQ(out, docids) << "n = " << n;
+  }
+}
+
+TEST(PforDelta, RangeDecodeFromMidBlock) {
+  auto docids = MakeSorted(50000, 73);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(
+      PforDeltaEncode(docids.data(), 50000, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto pos = static_cast<uint32_t>(rng.NextBounded(50000));
+    const auto len =
+        static_cast<uint32_t>(1 + rng.NextBounded(
+                                      std::min<uint64_t>(2048, 50000 - pos)));
+    std::vector<int32_t> out(len);
+    dec.Decode(pos, len, out.data());
+    for (uint32_t i = 0; i < len; ++i) {
+      ASSERT_EQ(out[i], docids[pos + i]) << "pos " << pos << " len " << len;
+    }
+  }
+}
+
+TEST(PforDelta, LargeGapsBecomeExceptions) {
+  // A few huge docid jumps among small gaps: deltas overflow b bits and
+  // must be patched.
+  auto docids = MakeSorted(5000, 83);
+  for (size_t i = 500; i < docids.size(); i += 500) {
+    for (size_t j = i; j < docids.size(); ++j) docids[j] += 1 << 22;
+  }
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  BlockStats stats;
+  auto out = RoundTrip(docids, opts, &PforDeltaEncode, &stats);
+  ASSERT_EQ(out, docids);
+  EXPECT_GE(stats.n_exceptions, 9u);
+}
+
+TEST(Pdict, RoundTripSmallDictionary) {
+  Rng rng(89);
+  std::vector<int32_t> values(10000);
+  for (auto& v : values) {
+    v = static_cast<int32_t>(rng.NextBounded(64)) * 9973;
+  }
+  EncodeOptions opts;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PdictEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_EQ(stats.bit_width, 6);
+  EXPECT_EQ(stats.n_exceptions, 0u);
+}
+
+TEST(Pdict, OverflowingDictionaryPatchesExceptions) {
+  // 2-bit dictionary over values with 20 distinct codes: the 4 most
+  // frequent values stay in the dictionary, the tail gets patched.
+  Rng rng(97);
+  std::vector<int32_t> values(8000);
+  for (auto& v : values) {
+    // Zipf-ish skew: favor small codes.
+    uint32_t r = static_cast<uint32_t>(rng.NextBounded(100));
+    v = static_cast<int32_t>(r < 80 ? r % 4 : r % 20) * 31 - 7;
+  }
+  EncodeOptions opts;
+  opts.bit_width = 2;
+  BlockStats stats;
+  auto out = RoundTrip(values, opts, &PdictEncode, &stats);
+  ASSERT_EQ(out, values);
+  EXPECT_GT(stats.n_exceptions, 0u);
+  EXPECT_LT(stats.n_exceptions, 4000u);  // the skewed head stays dictionary
+}
+
+TEST(Pdict, AwkwardLengthsAndRange) {
+  Rng rng(101);
+  std::vector<int32_t> values(1337);
+  for (auto& v : values) {
+    v = static_cast<int32_t>(rng.NextBounded(10)) - 5;
+  }
+  EncodeOptions opts;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PdictEncode(values.data(), 1337, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  std::vector<int32_t> all(values.size());
+  dec.DecodeAll(all.data());
+  ASSERT_EQ(all, values);
+  std::vector<int32_t> window(100);
+  dec.Decode(640, 100, window.data());
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(window[i], values[640 + i]);
+}
+
+TEST(Pdict, RejectsNaiveLayout) {
+  std::vector<int32_t> values = {1, 2, 3};
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.naive_layout = true;
+  EXPECT_FALSE(PdictEncode(values.data(), 3, opts, &block, nullptr).ok());
+}
+
+TEST(Pfor, DenseWindowsNeverLoseToRaw) {
+  // Sweep exception rates; compressed size must never exceed raw by more
+  // than the fixed metadata (header + entry points), because high-exception
+  // windows fall back to dense storage.
+  for (double rate : {0.6, 0.8, 0.95, 1.0}) {
+    auto values = MakeData(10000, 8, rate, 111);
+    EncodeOptions opts;
+    opts.bit_width = 8;
+    opts.force_base = true;
+    BlockStats stats;
+    auto out = RoundTrip(values, opts, &PforEncode, &stats);
+    ASSERT_EQ(out, values) << "rate " << rate;
+    EXPECT_GT(stats.n_dense_windows, 0u) << "rate " << rate;
+    const size_t raw = 4u * 10000;
+    const size_t metadata =
+        sizeof(uint32_t) * 10 + (10000 / kEntryPointStride + 1) * 16 + 64;
+    EXPECT_LE(stats.compressed_bytes, raw + metadata) << "rate " << rate;
+  }
+}
+
+TEST(Pfor, DenseWindowRangeDecode) {
+  // Mixed dense/patched block: range decodes crossing dense windows must
+  // still match DecodeAll.
+  Rng rng(113);
+  std::vector<int32_t> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Alternate stretches of lightly-excepted 8-bit data (stays patched)
+    // and exception-heavy data (goes dense).
+    const bool heavy = (i / 512) % 2 == 1;
+    values[i] = rng.NextBernoulli(heavy ? 0.9 : 0.05)
+                    ? 100000 + static_cast<int32_t>(rng.NextBounded(1000))
+                    : static_cast<int32_t>(rng.NextBounded(200));
+  }
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.force_base = true;
+  std::vector<uint8_t> block;
+  BlockStats stats;
+  ASSERT_TRUE(PforEncode(values.data(), 5000, opts, &block, &stats).ok());
+  EXPECT_GT(stats.n_dense_windows, 0u);
+  EXPECT_GT(stats.n_exceptions, 0u);  // patched windows coexist
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  std::vector<int32_t> all(values.size());
+  dec.DecodeAll(all.data());
+  ASSERT_EQ(all, values);
+  Rng trng(127);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pos = static_cast<uint32_t>(trng.NextBounded(5000));
+    const auto len = static_cast<uint32_t>(1 + trng.NextBounded(5000 - pos));
+    std::vector<int32_t> window(len);
+    dec.Decode(pos, len, window.data());
+    for (uint32_t i = 0; i < len; ++i) {
+      ASSERT_EQ(window[i], values[pos + i]) << "pos " << pos << " len " << len;
+    }
+  }
+}
+
+TEST(Codec, CompressionActuallyCompresses) {
+  // 60k 8-bit-ish values, 1% exceptions: the block must be far below the
+  // 4-bytes-per-value raw footprint (the §3.3 story).
+  auto values = MakeData(1 << 16, 8, 0.01, 103);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  BlockStats stats;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforEncode(values.data(), 1 << 16, opts, &block, &stats).ok());
+  EXPECT_LT(stats.BitsPerValue(), 10.0);
+  EXPECT_EQ(stats.compressed_bytes, block.size());
+}
+
+TEST(Codec, EntryPointStrideIsStable) {
+  // The on-disk format and the skip granularity depend on this constant;
+  // changing it is a format break.
+  EXPECT_EQ(kEntryPointStride, 128u);
+}
+
+}  // namespace
+}  // namespace x100ir::compress
