@@ -366,6 +366,14 @@ Status BlockDecoder::Init(const uint8_t* data, size_t size) {
   if ((hdr.exc_offset & 3u) != 0 || (hdr.dict_offset & 3u) != 0) {
     return InvalidArgument("misaligned section offset");
   }
+  // Only PDICT blocks carry a dictionary. A crafted PFOR/PFOR-DELTA block
+  // can place a bounds-consistent dictionary section between the entry
+  // points and the (shifted) payloads; accepting it would let fuzzed
+  // payloads smuggle an unvalidated section the decoder silently ignores.
+  if (hdr.scheme != static_cast<uint8_t>(Scheme::kPdict) &&
+      hdr.dict_offset != 0) {
+    return InvalidArgument("unexpected dictionary section");
+  }
   if (hdr.dict_offset != 0 &&
       (hdr.dict_offset < entries_end ||
        static_cast<uint64_t>(hdr.dict_offset) + (4ull << hdr.bit_width) >
@@ -636,8 +644,16 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
 void BlockDecoder::DecodeNaive(int32_t* out) const { DecodeAll(out); }
 
 void BlockDecoder::Decode(uint32_t pos, uint32_t len, int32_t* out) const {
+  // Edge cases pinned by Codec.RangeDecodeHostileEdges: len == 0 and
+  // pos >= n_ (including pos == n_ exactly) write nothing; pos + len past
+  // n_ (including uint32 wrap, e.g. pos = n_ - 1, len = UINT32_MAX) clamps
+  // to the block. The end is computed in 64-bit to make the no-wrap
+  // argument local: the previous min(len, n_ - pos) form was equally
+  // correct but relied on the pos < n_ guard above.
   if (pos >= n_ || len == 0) return;
-  len = std::min(len, n_ - pos);
+  const uint64_t end =
+      std::min<uint64_t>(static_cast<uint64_t>(pos) + len, n_);
+  len = static_cast<uint32_t>(end - pos);
   const uint32_t w0 = pos / kEntryPointStride;
   const uint32_t w1 = (pos + len - 1) / kEntryPointStride;
   int32_t tmp[kEntryPointStride];

@@ -102,8 +102,10 @@ class BlockDecoder {
   BlockDecoder() = default;
 
   // Parses the header and structurally validates it (magic, offsets,
-  // entry points — O(entry_count)). The decoder borrows `data` (must stay
-  // alive and must be 4-byte aligned — vector<uint8_t>::data() is).
+  // entry points — O(entry_count)). Only PDICT blocks may carry a
+  // dictionary section; a nonzero dict_offset under any other scheme is
+  // rejected. The decoder borrows `data` (must stay alive and must be
+  // 4-byte aligned — vector<uint8_t>::data() is).
   Status Init(const uint8_t* data, size_t size);
 
   // Deep validation of the block payload (O(n)): exception record
@@ -134,7 +136,9 @@ class BlockDecoder {
 
   // Range decode: out[0..len) = values[pos..pos+len). Touches only the
   // windows overlapping the range (cost scales with len, not block size).
-  // Out-of-range [pos, pos+len) is clamped to the block.
+  // Out-of-range [pos, pos+len) is clamped to the block: the end is
+  // computed in 64-bit (pos + len may wrap uint32), len == 0 and
+  // pos >= n() write nothing.
   void Decode(uint32_t pos, uint32_t len, int32_t* out) const;
 
   // mask[i] = true iff value i is stored as an exception. For branch-trace

@@ -1,0 +1,454 @@
+// Expression compiler: resolves an Expr tree against a Schema into compiled
+// nodes, each of which makes exactly one primitive call per batch.
+#include "vec/expression.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+#include "vec/primitives.h"
+
+namespace x100ir::vec {
+namespace internal {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  // Evaluates this node's subtree over the batch's active rows. Cannot
+  // fail: all checks happen at compile time.
+  virtual const Vector* Eval(const Batch& batch) = 0;
+};
+
+namespace {
+
+using NodePtr = std::unique_ptr<Node>;
+
+// Bare column reference: zero-copy passthrough of the batch column.
+class ColumnNode : public Node {
+ public:
+  explicit ColumnNode(uint32_t idx) : idx_(idx) {}
+  const Vector* Eval(const Batch& batch) override {
+    return batch.columns[idx_];
+  }
+
+ private:
+  uint32_t idx_;
+};
+
+// Literal materialized as a broadcast vector. Only reached when a literal
+// is not foldable into a *_val primitive shape (e.g. the whole expression
+// is one constant); Call compilation folds literal operands instead.
+template <typename T>
+class ConstNode : public Node {
+ public:
+  ConstNode(TypeId type, T value, uint32_t max_n) : out_(type, max_n) {
+    T* dst = out_.Data<T>();
+    for (uint32_t i = 0; i < max_n; ++i) dst[i] = value;
+  }
+  const Vector* Eval(const Batch&) override { return &out_; }
+
+ private:
+  Vector out_;
+};
+
+template <typename Op, typename TRes, typename T>
+class ColColNode : public Node {
+ public:
+  ColColNode(TypeId out_type, NodePtr a, NodePtr b, uint32_t max_n)
+      : a_(std::move(a)), b_(std::move(b)), out_(out_type, max_n) {}
+  const Vector* Eval(const Batch& batch) override {
+    const Vector* va = a_->Eval(batch);
+    const Vector* vb = b_->Eval(batch);
+    MapColCol<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
+                              out_.Data<TRes>(), va->Data<T>(), vb->Data<T>());
+    return &out_;
+  }
+
+ private:
+  NodePtr a_, b_;
+  Vector out_;
+};
+
+template <typename Op, typename TRes, typename T>
+class ColValNode : public Node {
+ public:
+  ColValNode(TypeId out_type, NodePtr a, T val, uint32_t max_n)
+      : a_(std::move(a)), val_(val), out_(out_type, max_n) {}
+  const Vector* Eval(const Batch& batch) override {
+    const Vector* va = a_->Eval(batch);
+    MapColVal<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
+                              out_.Data<TRes>(), va->Data<T>(), val_);
+    return &out_;
+  }
+
+ private:
+  NodePtr a_;
+  T val_;
+  Vector out_;
+};
+
+template <typename Op, typename TRes, typename T>
+class ValColNode : public Node {
+ public:
+  ValColNode(TypeId out_type, T val, NodePtr b, uint32_t max_n)
+      : b_(std::move(b)), val_(val), out_(out_type, max_n) {}
+  const Vector* Eval(const Batch& batch) override {
+    const Vector* vb = b_->Eval(batch);
+    MapValCol<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
+                              out_.Data<TRes>(), val_, vb->Data<T>());
+    return &out_;
+  }
+
+ private:
+  NodePtr b_;
+  T val_;
+  Vector out_;
+};
+
+class CastF32Node : public Node {
+ public:
+  CastF32Node(NodePtr a, uint32_t max_n)
+      : a_(std::move(a)), out_(TypeId::kF32, max_n) {}
+  const Vector* Eval(const Batch& batch) override {
+    const Vector* va = a_->Eval(batch);
+    MapCol<CastF32Op, float, int32_t>(batch.count, batch.sel, batch.sel_count,
+                                      out_.Data<float>(), va->Data<int32_t>());
+    return &out_;
+  }
+
+ private:
+  NodePtr a_;
+  Vector out_;
+};
+
+// A compiled operand: either a node or a still-scalar literal.
+struct Operand {
+  NodePtr node;  // null for literals
+  TypeId type = TypeId::kI32;
+  bool is_const = false;
+  int32_t i32 = 0;
+  float f32 = 0.0f;
+};
+
+enum class OpKind : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,
+  kNe,
+  kCastF32,
+  kUnknown,
+};
+
+OpKind LookupOp(const std::string& name) {
+  if (name == "add") return OpKind::kAdd;
+  if (name == "sub") return OpKind::kSub;
+  if (name == "mul") return OpKind::kMul;
+  if (name == "div") return OpKind::kDiv;
+  if (name == "lt") return OpKind::kLt;
+  if (name == "gt") return OpKind::kGt;
+  if (name == "le") return OpKind::kLe;
+  if (name == "ge") return OpKind::kGe;
+  if (name == "eq") return OpKind::kEq;
+  if (name == "ne") return OpKind::kNe;
+  if (name == "cast_f32") return OpKind::kCastF32;
+  return OpKind::kUnknown;
+}
+
+bool IsComparison(OpKind op) {
+  return op == OpKind::kLt || op == OpKind::kGt || op == OpKind::kLe ||
+         op == OpKind::kGe || op == OpKind::kEq || op == OpKind::kNe;
+}
+
+template <typename T>
+T ScalarOf(const Operand& o) {
+  return o.type == TypeId::kI32 ? static_cast<T>(o.i32)
+                                : static_cast<T>(o.f32);
+}
+
+// Builds the binary node for one (Op, value type) pair, folding literal
+// operands into *_val shapes. TRes differs from T only for comparisons.
+template <typename Op, typename T, typename TRes>
+Operand MakeBinary(TypeId out_type, Operand a, Operand b, uint32_t max_n) {
+  Operand r;
+  r.type = out_type;
+  if (a.is_const && b.is_const) {
+    // Fold to a literal; the parent call (or Compile's root handling)
+    // decides whether it ever needs materializing.
+    const TRes v = static_cast<TRes>(Op::Apply(ScalarOf<T>(a), ScalarOf<T>(b)));
+    r.is_const = true;
+    if (out_type == TypeId::kI32) {
+      r.i32 = static_cast<int32_t>(v);
+    } else {
+      r.f32 = static_cast<float>(v);
+    }
+    return r;
+  }
+  if (b.is_const) {
+    r.node = std::make_unique<ColValNode<Op, TRes, T>>(
+        out_type, std::move(a.node), ScalarOf<T>(b), max_n);
+  } else if (a.is_const) {
+    r.node = std::make_unique<ValColNode<Op, TRes, T>>(
+        out_type, ScalarOf<T>(a), std::move(b.node), max_n);
+  } else {
+    r.node = std::make_unique<ColColNode<Op, TRes, T>>(
+        out_type, std::move(a.node), std::move(b.node), max_n);
+  }
+  return r;
+}
+
+// Dispatches (op kind, operand type) to the right MakeBinary instantiation.
+template <typename T>
+Operand MakeBinaryForOp(OpKind op, Operand a, Operand b, uint32_t max_n) {
+  switch (op) {
+    case OpKind::kAdd:
+      return MakeBinary<AddOp, T, T>(a.type, std::move(a), std::move(b),
+                                     max_n);
+    case OpKind::kSub:
+      return MakeBinary<SubOp, T, T>(a.type, std::move(a), std::move(b),
+                                     max_n);
+    case OpKind::kMul:
+      return MakeBinary<MulOp, T, T>(a.type, std::move(a), std::move(b),
+                                     max_n);
+    case OpKind::kDiv:
+      return MakeBinary<DivOp, T, T>(a.type, std::move(a), std::move(b),
+                                     max_n);
+    case OpKind::kLt:
+      return MakeBinary<LtCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    case OpKind::kGt:
+      return MakeBinary<GtCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    case OpKind::kLe:
+      return MakeBinary<LeCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    case OpKind::kGe:
+      return MakeBinary<GeCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    case OpKind::kEq:
+      return MakeBinary<EqCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    case OpKind::kNe:
+      return MakeBinary<NeCmp, T, int32_t>(TypeId::kI32, std::move(a),
+                                           std::move(b), max_n);
+    default:
+      return Operand{};  // unreachable; callers validate op first
+  }
+}
+
+Status CompileOperand(const ExprPtr& expr, const Schema& schema,
+                      uint32_t max_n, Operand* out);
+
+Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
+                   Operand* out) {
+  const OpKind op = LookupOp(call.name());
+  if (op == OpKind::kUnknown) {
+    return InvalidArgument("unknown primitive op: " + call.name());
+  }
+
+  if (op == OpKind::kCastF32) {
+    if (call.args().size() != 1) {
+      return InvalidArgument("cast_f32 takes exactly one argument");
+    }
+    Operand a;
+    X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], schema, max_n, &a));
+    if (a.type == TypeId::kF32) {
+      *out = std::move(a);  // already f32: no-op
+      return OkStatus();
+    }
+    out->type = TypeId::kF32;
+    if (a.is_const) {
+      out->is_const = true;
+      out->f32 = static_cast<float>(a.i32);
+      return OkStatus();
+    }
+    out->node = std::make_unique<CastF32Node>(std::move(a.node), max_n);
+    return OkStatus();
+  }
+
+  if (call.args().size() != 2) {
+    return InvalidArgument("op " + call.name() +
+                           " takes exactly two arguments");
+  }
+  Operand a, b;
+  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], schema, max_n, &a));
+  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[1], schema, max_n, &b));
+  if (a.type != b.type) {
+    return InvalidArgument(
+        StrFormat("type mismatch in %s: %s vs %s (use cast_f32)",
+                  call.name().c_str(), TypeName(a.type), TypeName(b.type)));
+  }
+  // i32 division UB is caught where it is decidable: a zero literal
+  // divisor would trap in the constant fold (and in every batch at run
+  // time), and INT32_MIN / -1 overflows in the fold. f32 division is
+  // well-defined (inf/nan).
+  if (op == OpKind::kDiv && a.type == TypeId::kI32 && b.is_const) {
+    if (b.i32 == 0) {
+      return InvalidArgument("division by zero literal");
+    }
+    if (b.i32 == -1 && a.is_const && a.i32 == INT32_MIN) {
+      return InvalidArgument("INT32_MIN / -1 overflows");
+    }
+  }
+  *out = a.type == TypeId::kI32
+             ? MakeBinaryForOp<int32_t>(op, std::move(a), std::move(b), max_n)
+             : MakeBinaryForOp<float>(op, std::move(a), std::move(b), max_n);
+  return OkStatus();
+}
+
+Status CompileOperand(const ExprPtr& expr, const Schema& schema,
+                      uint32_t max_n, Operand* out) {
+  if (expr == nullptr) return InvalidArgument("null expression");
+  switch (expr->kind()) {
+    case Expr::Kind::kConstI32:
+      out->is_const = true;
+      out->type = TypeId::kI32;
+      out->i32 = expr->i32();
+      return OkStatus();
+    case Expr::Kind::kConstF32:
+      out->is_const = true;
+      out->type = TypeId::kF32;
+      out->f32 = expr->f32();
+      return OkStatus();
+    case Expr::Kind::kCol: {
+      const int idx = schema.IndexOf(expr->name());
+      if (idx < 0) {
+        return InvalidArgument("unknown column: " + expr->name());
+      }
+      out->type = schema.type(static_cast<uint32_t>(idx));
+      out->node = std::make_unique<ColumnNode>(static_cast<uint32_t>(idx));
+      return OkStatus();
+    }
+    case Expr::Kind::kCall:
+      return CompileCall(*expr, schema, max_n, out);
+  }
+  return Internal("unreachable expression kind");
+}
+
+// cmp(col, literal) detection for the direct-select fast path.
+template <typename Cmp, typename T>
+std::function<uint32_t(const Batch&, sel_t*)> MakeDirectSelect(uint32_t idx,
+                                                               T val) {
+  return [idx, val](const Batch& batch, sel_t* out_sel) {
+    return SelectColVal<Cmp, T>(batch.count, batch.sel, batch.sel_count,
+                                out_sel, batch.columns[idx]->Data<T>(), val);
+  };
+}
+
+template <typename T>
+std::function<uint32_t(const Batch&, sel_t*)> DirectSelectForOp(OpKind op,
+                                                                uint32_t idx,
+                                                                T val) {
+  switch (op) {
+    case OpKind::kLt:
+      return MakeDirectSelect<LtCmp, T>(idx, val);
+    case OpKind::kGt:
+      return MakeDirectSelect<GtCmp, T>(idx, val);
+    case OpKind::kLe:
+      return MakeDirectSelect<LeCmp, T>(idx, val);
+    case OpKind::kGe:
+      return MakeDirectSelect<GeCmp, T>(idx, val);
+    case OpKind::kEq:
+      return MakeDirectSelect<EqCmp, T>(idx, val);
+    case OpKind::kNe:
+      return MakeDirectSelect<NeCmp, T>(idx, val);
+    default:
+      return nullptr;
+  }
+}
+
+std::function<uint32_t(const Batch&, sel_t*)> TryDirectSelect(
+    const ExprPtr& expr, const Schema& schema) {
+  if (expr->kind() != Expr::Kind::kCall || expr->args().size() != 2) {
+    return nullptr;
+  }
+  const OpKind op = LookupOp(expr->name());
+  if (!IsComparison(op)) return nullptr;
+  const ExprPtr& lhs = expr->args()[0];
+  const ExprPtr& rhs = expr->args()[1];
+  if (lhs->kind() != Expr::Kind::kCol) return nullptr;
+  const int idx = schema.IndexOf(lhs->name());
+  if (idx < 0) return nullptr;
+  const TypeId col_type = schema.type(static_cast<uint32_t>(idx));
+  if (rhs->kind() == Expr::Kind::kConstI32 && col_type == TypeId::kI32) {
+    return DirectSelectForOp<int32_t>(op, static_cast<uint32_t>(idx),
+                                      rhs->i32());
+  }
+  if (rhs->kind() == Expr::Kind::kConstF32 && col_type == TypeId::kF32) {
+    return DirectSelectForOp<float>(op, static_cast<uint32_t>(idx),
+                                    rhs->f32());
+  }
+  return nullptr;
+}
+
+}  // namespace
+}  // namespace internal
+
+CompiledExpr::~CompiledExpr() = default;
+
+StatusOr<std::unique_ptr<CompiledExpr>> CompiledExpr::Compile(
+    const ExprPtr& expr, const Schema& schema, uint32_t max_vector_size) {
+  if (max_vector_size == 0) {
+    return Status(InvalidArgument("max_vector_size must be positive"));
+  }
+  internal::Operand root;
+  Status s = internal::CompileOperand(expr, schema, max_vector_size, &root);
+  if (!s.ok()) return s;
+
+  std::unique_ptr<CompiledExpr> compiled(new CompiledExpr());
+  compiled->out_type_ = root.type;
+  compiled->max_vector_size_ = max_vector_size;
+  if (root.is_const) {
+    // Whole expression folded to a literal: materialize once.
+    if (root.type == TypeId::kI32) {
+      compiled->root_ = std::make_unique<internal::ConstNode<int32_t>>(
+          TypeId::kI32, root.i32, max_vector_size);
+    } else {
+      compiled->root_ = std::make_unique<internal::ConstNode<float>>(
+          TypeId::kF32, root.f32, max_vector_size);
+    }
+  } else {
+    compiled->root_ = std::move(root.node);
+  }
+  compiled->direct_select_ = internal::TryDirectSelect(expr, schema);
+  return compiled;
+}
+
+Status CompiledExpr::Eval(const Batch& batch, const Vector** out) {
+  if (out == nullptr) return InvalidArgument("null output");
+  if (batch.count > max_vector_size_) {
+    return InvalidArgument("batch larger than compiled vector size");
+  }
+  *out = root_->Eval(batch);
+  return OkStatus();
+}
+
+Status CompiledExpr::EvalSelect(const Batch& batch, sel_t* out_sel,
+                                uint32_t* out_count) {
+  if (out_sel == nullptr || out_count == nullptr) {
+    return InvalidArgument("null output");
+  }
+  if (batch.count > max_vector_size_) {
+    return InvalidArgument("batch larger than compiled vector size");
+  }
+  if (direct_select_) {
+    *out_count = direct_select_(batch, out_sel);
+    return OkStatus();
+  }
+  if (out_type_ != TypeId::kI32) {
+    return InvalidArgument("select predicate must evaluate to i32");
+  }
+  const Vector* flags = root_->Eval(batch);
+  *out_count =
+      SelectColVal<NeCmp, int32_t>(batch.count, batch.sel, batch.sel_count,
+                                   out_sel, flags->Data<int32_t>(), 0);
+  return OkStatus();
+}
+
+}  // namespace x100ir::vec

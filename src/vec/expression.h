@@ -1,0 +1,121 @@
+// Composable expression trees evaluated vector-at-a-time over the map/select
+// primitives — the "flexible" half of the paper's flexibility-vs-speed
+// trade-off (a fused kernel like ir/bm25.h is the other half, and
+// bench_primitives measures the gap).
+//
+// An Expr is a cheap immutable description (column ref, literal, call).
+// CompiledExpr::Compile resolves names against a Schema, type-checks, folds
+// literal operands into the *_col_val / _val_col primitive shapes (constants
+// never materialize into vectors unless both operands are literals), and
+// builds a tree of compiled nodes each owning its output Vector. Eval then
+// runs one primitive call per node per batch — the interpretation overhead
+// the vector size amortizes.
+//
+// Supported ops: add, sub, mul, div (i32/i32 or f32/f32), cast_f32
+// (i32 -> f32), and the comparisons lt, gt, le, ge, eq, ne (result i32
+// 0/1). Mixed-type calls are rejected at compile time; cast explicitly.
+#ifndef X100IR_VEC_EXPRESSION_H_
+#define X100IR_VEC_EXPRESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "vec/vector.h"
+
+namespace x100ir::vec {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind : uint8_t { kCol, kConstI32, kConstF32, kCall };
+
+  static ExprPtr Col(std::string name) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::kCol;
+    e->name_ = std::move(name);
+    return e;
+  }
+  static ExprPtr ConstI32(int32_t v) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::kConstI32;
+    e->i32_ = v;
+    return e;
+  }
+  static ExprPtr ConstF32(float v) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::kConstF32;
+    e->f32_ = v;
+    return e;
+  }
+  static ExprPtr Call(std::string op, std::vector<ExprPtr> args) {
+    auto e = std::make_shared<Expr>();
+    e->kind_ = Kind::kCall;
+    e->name_ = std::move(op);
+    e->args_ = std::move(args);
+    return e;
+  }
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }  // column or op name
+  int32_t i32() const { return i32_; }
+  float f32() const { return f32_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  Kind kind_ = Kind::kCol;
+  std::string name_;
+  int32_t i32_ = 0;
+  float f32_ = 0.0f;
+  std::vector<ExprPtr> args_;
+};
+
+namespace internal {
+class Node;  // compiled expression node (expression.cc)
+}  // namespace internal
+
+class CompiledExpr {
+ public:
+  // Compiles `expr` against `schema` for batches of up to max_vector_size
+  // rows (output vectors are sized once, here — Eval never allocates).
+  static StatusOr<std::unique_ptr<CompiledExpr>> Compile(
+      const ExprPtr& expr, const Schema& schema, uint32_t max_vector_size);
+
+  ~CompiledExpr();
+  CompiledExpr(CompiledExpr&&) = delete;
+
+  TypeId out_type() const { return out_type_; }
+
+  // Evaluates over the batch's active rows; *out points at a vector owned
+  // by this CompiledExpr (or at a batch column for a bare column ref),
+  // valid until the next Eval.
+  Status Eval(const Batch& batch, const Vector** out);
+
+  // Predicate evaluation: writes the active row indices satisfying the
+  // (i32, top-level comparison) expression into out_sel — ascending,
+  // composable with batch.sel — and returns their count in *out_count.
+  // out_sel must have room for batch.ActiveCount() entries. Comparisons of
+  // the form cmp(col, literal) skip materializing the 0/1 vector and run
+  // one select primitive directly.
+  Status EvalSelect(const Batch& batch, sel_t* out_sel, uint32_t* out_count);
+
+ private:
+  CompiledExpr() = default;
+
+  std::unique_ptr<internal::Node> root_;
+  // Fast path for cmp(col, literal): one SelectColVal call, no
+  // intermediate vector. Unset for every other shape.
+  std::function<uint32_t(const Batch&, sel_t*)> direct_select_;
+  TypeId out_type_ = TypeId::kI32;
+  uint32_t max_vector_size_ = 0;
+};
+
+}  // namespace x100ir::vec
+
+#endif  // X100IR_VEC_EXPRESSION_H_

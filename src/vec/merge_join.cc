@@ -1,0 +1,150 @@
+#include "vec/merge_join.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace x100ir::vec {
+
+MergeJoinOperator::MergeJoinOperator(ExecContext* ctx,
+                                     std::vector<OperatorPtr> children,
+                                     MergeMode mode)
+    : ctx_(ctx), children_(std::move(children)), mode_(mode) {}
+
+Status MergeJoinOperator::DrainChild(Operator* child, Input* input) {
+  const uint32_t ncols = child->schema().NumColumns();
+  input->payloads.resize(ncols - 1);
+  Batch* b = nullptr;
+  for (;;) {
+    X100IR_RETURN_IF_ERROR(child->Next(&b));
+    if (b == nullptr) return OkStatus();
+    const int32_t* keys = b->columns[0]->Data<int32_t>();
+    const uint32_t active = b->ActiveCount();
+    for (uint32_t j = 0; j < active; ++j) {
+      const uint32_t row = b->sel != nullptr ? b->sel[j] : j;
+      if (!input->keys.empty() && keys[row] <= input->keys.back()) {
+        return InvalidArgument(
+            "merge-join input keys must be strictly increasing");
+      }
+      input->keys.push_back(keys[row]);
+      for (uint32_t c = 1; c < ncols; ++c) {
+        input->payloads[c - 1].push_back(
+            b->columns[c]->Data<int32_t>()[row]);
+      }
+    }
+  }
+}
+
+Status MergeJoinOperator::Open() {
+  if (children_.empty()) {
+    return InvalidArgument("merge-join needs at least one child");
+  }
+  if (ctx_ == nullptr || ctx_->vector_size == 0) {
+    return InvalidArgument("merge-join needs a context with vector_size > 0");
+  }
+  if (mode_ != MergeMode::kIntersect) {
+    return Unimplemented("only kIntersect is implemented");
+  }
+  schema_ = Schema();
+  for (size_t c = 0; c < children_.size(); ++c) {
+    if (children_[c] == nullptr) return InvalidArgument("null child");
+    X100IR_RETURN_IF_ERROR(children_[c]->Open());
+    const Schema& cs = children_[c]->schema();
+    if (cs.NumColumns() == 0 || cs.type(0) != TypeId::kI32) {
+      return InvalidArgument(
+          StrFormat("merge-join child %zu must lead with an i32 key", c));
+    }
+    if (c == 0) schema_.Add(cs.name(0), TypeId::kI32);
+    for (uint32_t p = 1; p < cs.NumColumns(); ++p) {
+      schema_.Add(cs.name(p), cs.type(p));
+    }
+  }
+
+  // Materialize every child, then intersect the key columns pairwise with
+  // the galloping kernel, carrying per-child row indices for the payload
+  // gather.
+  std::vector<Input> inputs(children_.size());
+  for (size_t c = 0; c < children_.size(); ++c) {
+    X100IR_RETURN_IF_ERROR(DrainChild(children_[c].get(), &inputs[c]));
+  }
+
+  std::vector<int32_t> keys = std::move(inputs[0].keys);
+  std::vector<std::vector<uint32_t>> rows(children_.size());
+  rows[0].resize(keys.size());
+  for (uint32_t i = 0; i < rows[0].size(); ++i) rows[0][i] = i;
+
+  std::vector<sel_t> out_a, out_b;
+  for (size_t c = 1; c < children_.size(); ++c) {
+    const auto& ckeys = inputs[c].keys;
+    const uint32_t cap = static_cast<uint32_t>(
+        std::min(keys.size(), ckeys.size()));
+    out_a.resize(cap);
+    out_b.resize(cap);
+    const uint32_t k = MergeIntersectGalloping(
+        keys.data(), static_cast<uint32_t>(keys.size()), ckeys.data(),
+        static_cast<uint32_t>(ckeys.size()), out_a.data(), out_b.data());
+    std::vector<int32_t> new_keys(k);
+    for (uint32_t t = 0; t < k; ++t) new_keys[t] = keys[out_a[t]];
+    for (size_t p = 0; p < c; ++p) {
+      std::vector<uint32_t> remapped(k);
+      for (uint32_t t = 0; t < k; ++t) remapped[t] = rows[p][out_a[t]];
+      rows[p] = std::move(remapped);
+    }
+    rows[c].assign(out_b.begin(), out_b.begin() + k);
+    keys = std::move(new_keys);
+  }
+
+  // Gather the joined columns: key first, then each child's payloads.
+  result_rows_ = keys.size();
+  result_cols_.clear();
+  result_cols_.push_back(std::move(keys));
+  for (size_t c = 0; c < children_.size(); ++c) {
+    for (const auto& payload : inputs[c].payloads) {
+      std::vector<int32_t> col(result_rows_);
+      for (uint64_t t = 0; t < result_rows_; ++t) {
+        col[t] = payload[rows[c][t]];
+      }
+      result_cols_.push_back(std::move(col));
+    }
+  }
+
+  vectors_.clear();
+  vectors_.reserve(result_cols_.size());
+  batch_.columns.clear();
+  for (uint32_t c = 0; c < result_cols_.size(); ++c) {
+    vectors_.emplace_back(schema_.type(c), ctx_->vector_size);
+  }
+  for (auto& v : vectors_) batch_.columns.push_back(&v);
+  pos_ = 0;
+  return OkStatus();
+}
+
+Status MergeJoinOperator::Next(Batch** out) {
+  if (out == nullptr) return InvalidArgument("null output");
+  const uint64_t remaining = result_rows_ - pos_;
+  if (remaining == 0) {
+    *out = nullptr;
+    return OkStatus();
+  }
+  const uint32_t len = static_cast<uint32_t>(
+      std::min<uint64_t>(ctx_->vector_size, remaining));
+  for (size_t c = 0; c < result_cols_.size(); ++c) {
+    std::memcpy(vectors_[c].RawData(), result_cols_[c].data() + pos_,
+                static_cast<size_t>(len) * kTypeWidth);
+  }
+  pos_ += len;
+  batch_.count = len;
+  batch_.sel = nullptr;
+  batch_.sel_count = 0;
+  *out = &batch_;
+  return OkStatus();
+}
+
+void MergeJoinOperator::Close() {
+  for (auto& child : children_) {
+    if (child != nullptr) child->Close();
+  }
+}
+
+}  // namespace x100ir::vec

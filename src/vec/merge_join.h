@@ -1,0 +1,135 @@
+// Sorted-int32 merge-join — the inverted-list intersection kernel of the
+// paper's relational IR formulation (a conjunctive query is a merge-join of
+// posting lists on docid).
+//
+// Two layers:
+//   - free kernels MergeIntersectNaive / MergeIntersectGalloping over raw
+//     sorted arrays, emitting matching index pairs. Galloping (exponential
+//     probe + binary search) makes skewed intersections — a rare term
+//     against a huge posting list — cost O(short * log(long / short))
+//     instead of O(long);
+//   - MergeJoinOperator, which materializes its children's streams at Open
+//     (posting lists arrive from block-resident columns anyway), intersects
+//     the key columns with the galloping kernel, and re-emits the joined
+//     rows vector-at-a-time.
+//
+// Keys must be strictly increasing within each input (docids are unique).
+#ifndef X100IR_VEC_MERGE_JOIN_H_
+#define X100IR_VEC_MERGE_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "vec/scan.h"
+#include "vec/vector.h"
+
+namespace x100ir::vec {
+
+// First index in v[lo..n) with v[index] >= key (n if none): exponential
+// probe from lo, then binary search inside the bracketed run. Cheap when
+// the answer is near lo (dense intersections degrade to two-pointer), and
+// logarithmic in the skip distance when it is far (sparse-vs-dense skew).
+inline uint32_t GallopLowerBound(const int32_t* v, uint32_t lo, uint32_t n,
+                                 int32_t key) {
+  if (lo >= n || v[lo] >= key) return lo;
+  // 64-bit probe arithmetic: with n - prev > 2^31 a uint32 step would
+  // double to 0 and the probe loop would never advance again.
+  uint64_t step = 1;
+  uint64_t prev = lo;
+  // Invariant: v[prev] < key.
+  while (step < n - prev && v[prev + step] < key) {
+    prev += step;
+    step <<= 1;
+  }
+  const uint64_t hi = std::min<uint64_t>(n, prev + step);
+  return static_cast<uint32_t>(
+      std::lower_bound(v + prev + 1, v + hi, key) - v);
+}
+
+// Reference two-pointer intersection. out_a/out_b receive the matching
+// indices into a/b; returns the match count. Outputs must have room for
+// min(na, nb) entries.
+inline uint32_t MergeIntersectNaive(const int32_t* a, uint32_t na,
+                                    const int32_t* b, uint32_t nb,
+                                    sel_t* out_a, sel_t* out_b) {
+  uint32_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) {
+    if (a[i] == b[j]) {
+      out_a[k] = i;
+      out_b[k] = j;
+      ++k;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return k;
+}
+
+// Galloping intersection: same contract as MergeIntersectNaive, but each
+// miss skips ahead exponentially in the lagging list.
+inline uint32_t MergeIntersectGalloping(const int32_t* a, uint32_t na,
+                                        const int32_t* b, uint32_t nb,
+                                        sel_t* out_a, sel_t* out_b) {
+  uint32_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) {
+    if (a[i] == b[j]) {
+      out_a[k] = i;
+      out_b[k] = j;
+      ++k;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      i = GallopLowerBound(a, i + 1, na, b[j]);
+    } else {
+      j = GallopLowerBound(b, j + 1, nb, a[i]);
+    }
+  }
+  return k;
+}
+
+enum class MergeMode : uint8_t {
+  kIntersect = 0,  // conjunctive query: keys present in every child
+};
+
+// N-ary merge-join on column 0 (kI32, strictly increasing). Output schema:
+// child 0's key column, then every child's payload columns in child order.
+class MergeJoinOperator : public Operator {
+ public:
+  MergeJoinOperator(ExecContext* ctx, std::vector<OperatorPtr> children,
+                    MergeMode mode);
+
+  Status Open() override;
+  Status Next(Batch** out) override;
+  void Close() override;
+
+ private:
+  // One drained child: key column plus payload columns as raw 32-bit rows.
+  struct Input {
+    std::vector<int32_t> keys;
+    std::vector<std::vector<int32_t>> payloads;
+  };
+
+  Status DrainChild(Operator* child, Input* input);
+
+  ExecContext* ctx_;
+  std::vector<OperatorPtr> children_;
+  MergeMode mode_;
+
+  // Joined result, materialized at Open.
+  std::vector<std::vector<int32_t>> result_cols_;
+  std::vector<Vector> vectors_;
+  Batch batch_;
+  uint64_t pos_ = 0;
+  uint64_t result_rows_ = 0;
+};
+
+}  // namespace x100ir::vec
+
+#endif  // X100IR_VEC_MERGE_JOIN_H_

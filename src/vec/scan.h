@@ -1,0 +1,84 @@
+// Vector-at-a-time (Volcano-with-vectors) operator interface and the leaf
+// scan operator. Operators pull batches of up to ExecContext::vector_size
+// rows — the §4 demonstration knob bench_vector_size sweeps: size 1
+// degenerates to tuple-at-a-time interpretation, huge sizes spill the
+// cache, the optimum sits in between.
+#ifndef X100IR_VEC_SCAN_H_
+#define X100IR_VEC_SCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "vec/vector.h"
+
+namespace x100ir::vec {
+
+// Per-query execution knobs, shared by every operator in a plan.
+struct ExecContext {
+  uint32_t vector_size = 1024;
+};
+
+// Pull-based operator. Lifecycle: Open() once, Next() until *out == nullptr
+// (end of stream), Close() once. The returned Batch and everything it
+// points at belong to the operator and stay valid until its next
+// Next()/Close().
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  virtual Status Next(Batch** out) = 0;
+  virtual void Close() {}
+
+  const Schema& schema() const { return schema_; }
+
+ protected:
+  Schema schema_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// A readable column: the scan's abstraction over in-memory arrays
+// (MemVectorSource) and compressed blocks decoded on the fly via
+// BlockDecoder::Decode range decode (BlockVectorSource) — both in
+// mem_source.h.
+class VectorSource {
+ public:
+  virtual ~VectorSource() = default;
+
+  virtual uint64_t size() const = 0;
+  virtual TypeId type() const = 0;
+  // Fills dst[0..len) with values [pos, pos + len); the caller guarantees
+  // pos + len <= size().
+  virtual void Read(uint64_t pos, uint32_t len, void* dst) const = 0;
+};
+
+using VectorSourcePtr = std::unique_ptr<VectorSource>;
+
+// Leaf operator: streams the sources' columns in lockstep, vector_size
+// values per Next(). All sources must have equal size and match the
+// schema's column count and types.
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(ExecContext* ctx, Schema schema,
+               std::vector<VectorSourcePtr> sources);
+
+  Status Open() override;
+  Status Next(Batch** out) override;
+  void Close() override;
+
+ private:
+  ExecContext* ctx_;
+  std::vector<VectorSourcePtr> sources_;
+  std::vector<Vector> vectors_;
+  Batch batch_;
+  uint64_t pos_ = 0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace x100ir::vec
+
+#endif  // X100IR_VEC_SCAN_H_

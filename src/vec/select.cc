@@ -1,0 +1,75 @@
+#include "vec/select.h"
+
+#include <utility>
+
+namespace x100ir::vec {
+
+SelectOperator::SelectOperator(ExecContext* ctx, OperatorPtr child,
+                               ExprPtr predicate, SelectMode mode)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      mode_(mode) {}
+
+Status SelectOperator::Open() {
+  if (child_ == nullptr) return InvalidArgument("select needs a child");
+  if (ctx_ == nullptr || ctx_->vector_size == 0) {
+    return InvalidArgument("select needs a context with vector_size > 0");
+  }
+  X100IR_RETURN_IF_ERROR(child_->Open());
+  schema_ = child_->schema();
+  auto compiled_or =
+      CompiledExpr::Compile(predicate_, schema_, ctx_->vector_size);
+  if (!compiled_or.ok()) return compiled_or.status();
+  compiled_ = std::move(compiled_or.value());
+  sel_.resize(ctx_->vector_size);
+  batch_.columns.clear();
+  compacted_.clear();
+  if (mode_ == SelectMode::kCompact) {
+    for (uint32_t c = 0; c < schema_.NumColumns(); ++c) {
+      compacted_.emplace_back(schema_.type(c), ctx_->vector_size);
+    }
+    for (auto& v : compacted_) batch_.columns.push_back(&v);
+  }
+  return OkStatus();
+}
+
+Status SelectOperator::Next(Batch** out) {
+  if (out == nullptr) return InvalidArgument("null output");
+  Batch* in = nullptr;
+  X100IR_RETURN_IF_ERROR(child_->Next(&in));
+  if (in == nullptr) {
+    *out = nullptr;
+    return OkStatus();
+  }
+  uint32_t qualifying = 0;
+  X100IR_RETURN_IF_ERROR(
+      compiled_->EvalSelect(*in, sel_.data(), &qualifying));
+
+  if (mode_ == SelectMode::kSelectionVector) {
+    // Zero copy: pass the child's vectors through, narrowed by sel.
+    batch_.columns = in->columns;
+    batch_.count = in->count;
+    batch_.sel = sel_.data();
+    batch_.sel_count = qualifying;
+  } else {
+    // Compact: gather survivors into dense vectors. All column types are
+    // 4 bytes wide, so the gather is type-agnostic.
+    for (uint32_t c = 0; c < in->columns.size(); ++c) {
+      const int32_t* src = in->columns[c]->Data<int32_t>();
+      int32_t* dst = compacted_[c].Data<int32_t>();
+      for (uint32_t j = 0; j < qualifying; ++j) dst[j] = src[sel_[j]];
+    }
+    batch_.count = qualifying;
+    batch_.sel = nullptr;
+    batch_.sel_count = 0;
+  }
+  *out = &batch_;
+  return OkStatus();
+}
+
+void SelectOperator::Close() {
+  if (child_ != nullptr) child_->Close();
+}
+
+}  // namespace x100ir::vec

@@ -1,0 +1,50 @@
+// Filter operator over a compiled predicate, in the two modes whose
+// trade-off bench_primitives' BM_SelectOperatorModes measures:
+//
+//   kSelectionVector — attach the qualifying positions as the outgoing
+//     batch's selection vector. Zero data movement; downstream primitives
+//     pay sparse iteration instead (DESIGN.md §4).
+//   kCompact — gather qualifying rows into fresh dense vectors. Pays one
+//     copy per surviving value; downstream runs dense loops.
+#ifndef X100IR_VEC_SELECT_H_
+#define X100IR_VEC_SELECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "vec/expression.h"
+#include "vec/scan.h"
+#include "vec/vector.h"
+
+namespace x100ir::vec {
+
+enum class SelectMode : uint8_t {
+  kSelectionVector = 0,
+  kCompact = 1,
+};
+
+class SelectOperator : public Operator {
+ public:
+  SelectOperator(ExecContext* ctx, OperatorPtr child, ExprPtr predicate,
+                 SelectMode mode);
+
+  Status Open() override;
+  Status Next(Batch** out) override;
+  void Close() override;
+
+ private:
+  ExecContext* ctx_;
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  SelectMode mode_;
+
+  std::unique_ptr<CompiledExpr> compiled_;
+  std::vector<sel_t> sel_;
+  std::vector<Vector> compacted_;  // kCompact output columns
+  Batch batch_;
+};
+
+}  // namespace x100ir::vec
+
+#endif  // X100IR_VEC_SELECT_H_

@@ -1,0 +1,124 @@
+// Core value types of the X100-style vectorized execution layer (§2 of the
+// paper): fixed-capacity typed vectors, batches with optional selection
+// vectors, and column schemas.
+//
+// Selection-vector convention (DESIGN.md §4): a Batch carries `count` rows
+// of which either all are active (`sel == nullptr`) or only the positions
+// listed in `sel[0..sel_count)` are. Selection vectors hold *absolute* row
+// indices in ascending order, so they compose: a select over an already
+// selected batch emits a subset of the incoming positions. Primitives write
+// results *through* the selection vector (res[sel[j]] = ...) instead of
+// compacting, so a filter costs nothing at filter time and downstream
+// operators keep zero-copy access to unselected payload columns.
+#ifndef X100IR_VEC_VECTOR_H_
+#define X100IR_VEC_VECTOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace x100ir::vec {
+
+// Selection-vector element: an absolute row index within a batch.
+using sel_t = uint32_t;
+
+// Column value types. All 4 bytes wide, which lets type-agnostic code
+// (compaction, gathers) move values as raw 32-bit words.
+enum class TypeId : uint8_t {
+  kI32 = 0,
+  kF32 = 1,
+};
+
+inline const char* TypeName(TypeId t) {
+  return t == TypeId::kI32 ? "i32" : "f32";
+}
+
+inline constexpr size_t kTypeWidth = 4;  // bytes, for every TypeId
+
+// A fixed-capacity, untyped-storage vector. Ownership of the buffer stays
+// with the Vector; Batches reference Vectors by pointer and never own them.
+class Vector {
+ public:
+  Vector() = default;
+  Vector(TypeId type, uint32_t capacity) { Reset(type, capacity); }
+
+  void Reset(TypeId type, uint32_t capacity) {
+    type_ = type;
+    capacity_ = capacity;
+    buf_.resize(static_cast<size_t>(capacity) * kTypeWidth);
+  }
+
+  TypeId type() const { return type_; }
+  uint32_t capacity() const { return capacity_; }
+
+  template <typename T>
+  T* Data() {
+    static_assert(sizeof(T) == kTypeWidth, "vector element must be 4 bytes");
+    return reinterpret_cast<T*>(buf_.data());
+  }
+  template <typename T>
+  const T* Data() const {
+    static_assert(sizeof(T) == kTypeWidth, "vector element must be 4 bytes");
+    return reinterpret_cast<const T*>(buf_.data());
+  }
+
+  void* RawData() { return buf_.data(); }
+  const void* RawData() const { return buf_.data(); }
+
+  // Copies src[0..n) into the vector (n <= capacity).
+  template <typename T>
+  void Fill(const T* src, uint32_t n) {
+    static_assert(sizeof(T) == kTypeWidth, "vector element must be 4 bytes");
+    assert(n <= capacity_);
+    std::memcpy(buf_.data(), src, static_cast<size_t>(n) * sizeof(T));
+  }
+
+ private:
+  TypeId type_ = TypeId::kI32;
+  uint32_t capacity_ = 0;
+  std::vector<uint8_t> buf_;
+};
+
+// A horizontal slice of columns flowing between operators. Non-owning:
+// column Vectors (and the selection vector) belong to the producing
+// operator and stay valid until its next Next()/Close().
+struct Batch {
+  uint32_t count = 0;              // rows present in the column vectors
+  std::vector<Vector*> columns;
+  const sel_t* sel = nullptr;      // nullptr = all `count` rows active
+  uint32_t sel_count = 0;
+
+  // Rows a consumer actually sees.
+  uint32_t ActiveCount() const { return sel != nullptr ? sel_count : count; }
+};
+
+// Ordered, named, typed column list.
+class Schema {
+ public:
+  void Add(std::string name, TypeId type) {
+    names_.push_back(std::move(name));
+    types_.push_back(type);
+  }
+
+  uint32_t NumColumns() const { return static_cast<uint32_t>(names_.size()); }
+  const std::string& name(uint32_t i) const { return names_[i]; }
+  TypeId type(uint32_t i) const { return types_[i]; }
+
+  // Index of `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TypeId> types_;
+};
+
+}  // namespace x100ir::vec
+
+#endif  // X100IR_VEC_VECTOR_H_

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -579,6 +581,189 @@ TEST(Codec, CompressionActuallyCompresses) {
   EXPECT_LT(stats.BitsPerValue(), 10.0);
   EXPECT_EQ(stats.compressed_bytes, block.size());
 }
+
+TEST(Codec, RangeDecodeHostileEdges) {
+  // Hostile-argument regression tests for Decode(pos, len): len == 0,
+  // pos == n exactly, pos far beyond n, and pos + len wrapping uint32.
+  // None of these may write outside the decoded span.
+  auto values = MakeData(300, 8, 0.05, 211);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforEncode(values.data(), 300, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  constexpr uint32_t kMax = std::numeric_limits<uint32_t>::max();
+
+  std::vector<int32_t> out(301, -7);
+  dec.Decode(0, 0, out.data());    // len == 0: no write
+  dec.Decode(150, 0, out.data());  // len == 0 mid-block: no write
+  dec.Decode(300, 1, out.data());  // pos == n exactly: no write
+  dec.Decode(300, kMax, out.data());
+  dec.Decode(kMax, kMax, out.data());  // pos and pos+len both out of range
+  for (int32_t v : out) ASSERT_EQ(v, -7);
+
+  // pos + len wraps uint32 (299 + kMax == 298 in 32-bit arithmetic): the
+  // clamp must be computed in 64-bit, yielding exactly [299, 300).
+  dec.Decode(299, kMax, out.data());
+  EXPECT_EQ(out[0], values[299]);
+  EXPECT_EQ(out[1], -7);
+
+  // Wrap-around with a multi-window remainder: decodes [100, 300).
+  std::fill(out.begin(), out.end(), -7);
+  dec.Decode(100, kMax - 3, out.data());
+  for (uint32_t i = 0; i < 200; ++i) ASSERT_EQ(out[i], values[100 + i]) << i;
+  EXPECT_EQ(out[200], -7);
+
+  // Empty block: every range is out of range.
+  std::vector<uint8_t> empty_block;
+  ASSERT_TRUE(PforEncode(nullptr, 0, opts, &empty_block, nullptr).ok());
+  BlockDecoder empty_dec;
+  ASSERT_TRUE(empty_dec.Init(empty_block.data(), empty_block.size()).ok());
+  std::fill(out.begin(), out.end(), -7);
+  empty_dec.Decode(0, 5, out.data());
+  empty_dec.Decode(0, kMax, out.data());
+  EXPECT_EQ(out[0], -7);
+}
+
+TEST(Codec, InitRejectsDeadDictSectionOnNonPdict) {
+  // A crafted PFOR block can carry a bounds-consistent dictionary section
+  // (payload offsets are relative to code_offset, so shifting the payload
+  // right keeps every other check green). Before the fix Init accepted it
+  // and silently ignored the section; fuzzed payloads must not be able to
+  // smuggle unvalidated bytes, so Init now rejects dict_offset != 0 for
+  // PFOR / PFOR-DELTA.
+  std::vector<int32_t> values(200, 7);
+  std::vector<uint8_t> block;
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  ASSERT_TRUE(PforEncode(values.data(), 200, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+
+  // Splice a zeroed (4 << b)-byte dictionary between the entry points and
+  // the payload, then patch dict/code/exc offsets to keep the block
+  // self-consistent.
+  const uint32_t entries_end = 40 + 2 * 16;  // header + 2 entry points
+  const uint32_t dict_bytes = 4u << 8;
+  std::vector<uint8_t> bad(block.begin(), block.begin() + entries_end);
+  bad.insert(bad.end(), dict_bytes, 0);
+  bad.insert(bad.end(), block.begin() + entries_end, block.end());
+  auto patch_u32 = [&](size_t offset, uint32_t delta_or_value, bool add) {
+    uint32_t v;
+    std::memcpy(&v, bad.data() + offset, 4);
+    v = add ? v + delta_or_value : delta_or_value;
+    std::memcpy(bad.data() + offset, &v, 4);
+  };
+  patch_u32(28, entries_end, /*add=*/false);  // dict_offset
+  patch_u32(32, dict_bytes, /*add=*/true);    // code_offset
+  patch_u32(36, dict_bytes, /*add=*/true);    // exc_offset
+  BlockDecoder bad_dec;
+  Status s = bad_dec.Init(bad.data(), bad.size());
+  EXPECT_FALSE(s.ok());
+
+  // Sanity: a genuine PDICT block (which must carry a dictionary) still
+  // passes Init.
+  std::vector<uint8_t> pdict_block;
+  EncodeOptions pdict_opts;
+  ASSERT_TRUE(
+      PdictEncode(values.data(), 200, pdict_opts, &pdict_block, nullptr)
+          .ok());
+  BlockDecoder pdict_dec;
+  EXPECT_TRUE(pdict_dec.Init(pdict_block.data(), pdict_block.size()).ok());
+}
+
+// Encoder round-trip at boundary shapes: n % 128 in {0, 1, 127} exercises
+// the final-partial-window path, b in {1, 7, 8, 30} the byte-aligned and
+// straddling codeword widths (30 leans hardest on the 8-byte
+// unaligned-load pad), across all three schemes.
+class BoundaryShapeTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int, int>> {};
+
+TEST_P(BoundaryShapeTest, RoundTripsAndRangeDecodes) {
+  const uint32_t n = 384 + std::get<0>(GetParam());  // 384 / 385 / 511
+  const int b = std::get<1>(GetParam());
+  const int scheme = std::get<2>(GetParam());
+
+  std::vector<int32_t> values;
+  EncodeOptions opts;
+  Status (*encode)(const int32_t*, uint32_t, const EncodeOptions&,
+                   std::vector<uint8_t>*, BlockStats*) = nullptr;
+  switch (scheme) {
+    case 0:  // PFOR
+      values = MakeData(n, b, 0.03, 1000 + n + b);
+      opts.bit_width = b;
+      opts.force_base = true;
+      encode = &PforEncode;
+      break;
+    case 1: {  // PFOR-DELTA
+      values = MakeSorted(n, 2000 + n + b,
+                          /*max_gap=*/std::max(1u, 1u << (b / 2)));
+      // A few huge jumps so exceptions hit the partial-window path too.
+      for (size_t i = 100; i < values.size(); i += 150) {
+        for (size_t j = i; j < values.size(); ++j) values[j] += 1 << 24;
+      }
+      opts.bit_width = b;
+      encode = &PforDeltaEncode;
+      break;
+    }
+    default: {  // PDICT: width capped at kMaxDictBitWidth
+      const int bd = std::min(b, kMaxDictBitWidth);
+      Rng rng(3000 + n + b);
+      values.resize(n);
+      // Slightly more distinct values than the dictionary holds, so small
+      // widths exercise exception patching.
+      const uint64_t distinct = (1ull << std::min(bd, 10)) + 3;
+      for (auto& v : values) {
+        v = static_cast<int32_t>(rng.NextBounded(distinct)) * 7 - 3;
+      }
+      opts.bit_width = bd;
+      encode = &PdictEncode;
+      break;
+    }
+  }
+
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(
+      encode(values.data(), n, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  ASSERT_TRUE(dec.Validate().ok());
+  ASSERT_EQ(dec.n(), n);
+  std::vector<int32_t> out(n);
+  dec.DecodeAll(out.data());
+  ASSERT_EQ(out, values);
+
+  // Range decodes that isolate the final (possibly partial) window and the
+  // very last value — the unaligned-load pad path.
+  const uint32_t last_window_start = ((n - 1) / kEntryPointStride) *
+                                     kEntryPointStride;
+  const uint32_t wn = n - last_window_start;
+  std::vector<int32_t> tail(wn);
+  dec.Decode(last_window_start, wn, tail.data());
+  for (uint32_t i = 0; i < wn; ++i) {
+    ASSERT_EQ(tail[i], values[last_window_start + i]) << i;
+  }
+  int32_t last = 0;
+  dec.Decode(n - 1, 1, &last);
+  EXPECT_EQ(last, values[n - 1]);
+}
+
+std::string BoundaryShapeName(
+    const ::testing::TestParamInfo<BoundaryShapeTest::ParamType>& info) {
+  const int scheme = std::get<2>(info.param);
+  const std::string name =
+      scheme == 0 ? "Pfor" : scheme == 1 ? "PforDelta" : "Pdict";
+  return name + "_n384p" + std::to_string(std::get<0>(info.param)) + "_b" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EncoderBoundarySweep, BoundaryShapeTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 127u),
+                       ::testing::Values(1, 7, 8, 30),
+                       ::testing::Values(0, 1, 2)),
+    BoundaryShapeName);
 
 TEST(Codec, EntryPointStrideIsStable) {
   // The on-disk format and the skip granularity depend on this constant;
