@@ -21,27 +21,47 @@ inline std::string BenchDir() {
   return env != nullptr ? std::string(env) : std::string("bench_data");
 }
 
-inline bool LargeScale() {
+/// X100IR_BENCH_SCALE: "tiny" keeps CI smoke jobs under a minute, "large"
+/// approaches the paper's shape more closely; default fits a laptop run.
+enum class BenchScale { kTiny, kDefault, kLarge };
+
+inline BenchScale Scale() {
   const char* env = std::getenv("X100IR_BENCH_SCALE");
-  return env != nullptr && std::string(env) == "large";
+  if (env == nullptr) return BenchScale::kDefault;
+  const std::string s(env);
+  if (s == "tiny") return BenchScale::kTiny;
+  if (s == "large") return BenchScale::kLarge;
+  return BenchScale::kDefault;
 }
+
+inline bool LargeScale() { return Scale() == BenchScale::kLarge; }
 
 /// The bench collection: a scaled-down GOV2 stand-in (DESIGN.md §3.1).
 inline ir::CorpusOptions BenchCorpusOptions() {
   ir::CorpusOptions opts;
-  if (LargeScale()) {
-    opts.num_docs = 400000;
-    opts.vocab_size = 100000;
-  } else {
-    opts.num_docs = 60000;
-    opts.vocab_size = 40000;
+  switch (Scale()) {
+    case BenchScale::kTiny:
+      opts.num_docs = 4000;
+      opts.vocab_size = 6000;
+      break;
+    case BenchScale::kDefault:
+      opts.num_docs = 60000;
+      opts.vocab_size = 40000;
+      break;
+    case BenchScale::kLarge:
+      opts.num_docs = 400000;
+      opts.vocab_size = 100000;
+      break;
   }
   opts.zipf_s = 1.05;
   opts.doclen_mu = 5.0;  // ~150 terms/doc typical
   opts.doclen_sigma = 0.5;
-  opts.num_topics = 60;
+  opts.num_topics = Scale() == BenchScale::kTiny ? 20 : 60;
   opts.terms_per_topic = 6;
-  opts.relevant_docs_per_topic = LargeScale() ? 250 : 120;
+  opts.relevant_docs_per_topic =
+      Scale() == BenchScale::kLarge ? 250
+      : Scale() == BenchScale::kTiny ? 40
+                                     : 120;
   opts.topical_mass = 0.30;
   opts.topic_rank_min = 30;
   opts.topic_rank_max = 400;
@@ -51,8 +71,11 @@ inline ir::CorpusOptions BenchCorpusOptions() {
 
 inline ir::QueryGenOptions BenchQueryOptions() {
   ir::QueryGenOptions opts;
-  opts.num_eval_queries = 50;  // "a subset of 50 preselected queries"
-  opts.num_efficiency_queries = LargeScale() ? 5000 : 1000;
+  opts.num_eval_queries = Scale() == BenchScale::kTiny ? 20 : 50;
+  opts.num_efficiency_queries =
+      Scale() == BenchScale::kLarge ? 5000
+      : Scale() == BenchScale::kTiny ? 200
+                                     : 1000;
   opts.seed = 7;
   return opts;
 }

@@ -1,0 +1,22 @@
+#include "core/database.h"
+
+namespace x100ir::core {
+
+Status Database::Open(const DatabaseOptions& options) {
+  open_ = false;
+  X100IR_RETURN_IF_ERROR(ir::Corpus::Generate(options.corpus, &corpus_));
+  X100IR_RETURN_IF_ERROR(
+      index_.BuildFromCorpus(corpus_, options.dir, &build_stats_));
+  engine_.set_index(&index_);
+  open_ = true;
+  return OkStatus();
+}
+
+Status Database::Search(const ir::Query& query, ir::RunType type,
+                        const ir::SearchOptions& opts,
+                        ir::SearchResult* result) {
+  if (!open_) return InvalidArgument("database is not open");
+  return engine_.Search(query, type, opts, result);
+}
+
+}  // namespace x100ir::core

@@ -1,0 +1,57 @@
+// The engine facade the benches (and any embedder) program against: Open
+// generates the deterministic corpus, builds or reuses the compressed
+// inverted index under options.dir, and wires up the search engine; Search
+// runs one query through the vec:: plan for the chosen RunType.
+//
+// This is the API seam between the retrieval model (ir/) and the relational
+// executor (vec/): later layers (storage/ buffer manager, dist/ partitions)
+// slot in behind this interface without touching callers (DESIGN.md §6.1).
+#ifndef X100IR_CORE_DATABASE_H_
+#define X100IR_CORE_DATABASE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ir/corpus.h"
+#include "ir/index_builder.h"
+#include "ir/search_engine.h"
+
+namespace x100ir::core {
+
+struct DatabaseOptions {
+  // Index directory. Column files are written here on first build and
+  // reused when the corpus fingerprint matches. Empty = in-memory only.
+  std::string dir;
+  ir::CorpusOptions corpus;
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Generates the corpus and builds-or-reuses the index. Safe to call
+  // again (rebuilds against the new options).
+  Status Open(const DatabaseOptions& options);
+
+  // Runs one query; fails before Open. See ir::SearchEngine::Search.
+  Status Search(const ir::Query& query, ir::RunType type,
+                const ir::SearchOptions& opts, ir::SearchResult* result);
+
+  bool is_open() const { return open_; }
+  const ir::Corpus& corpus() const { return corpus_; }
+  const ir::InvertedIndex* index() const { return &index_; }
+  const ir::BuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  bool open_ = false;
+  ir::Corpus corpus_;
+  ir::InvertedIndex index_;
+  ir::SearchEngine engine_;
+  ir::BuildStats build_stats_;
+};
+
+}  // namespace x100ir::core
+
+#endif  // X100IR_CORE_DATABASE_H_

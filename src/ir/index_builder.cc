@@ -1,0 +1,268 @@
+#include "ir/index_builder.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "compress/pfor.h"
+#include "compress/pfor_delta.h"
+
+namespace x100ir::ir {
+namespace {
+
+// BM25 idf, the +1 variant (always positive, so a ubiquitous term can
+// never flip a document's score negative).
+float Bm25Idf(uint32_t num_docs, uint32_t df) {
+  const double n = static_cast<double>(num_docs);
+  const double d = static_cast<double>(df);
+  return static_cast<float>(std::log(1.0 + (n - d + 0.5) / (d + 0.5)));
+}
+
+Status WriteColumnFile(const std::string& path, uint32_t encoding,
+                       uint64_t value_count, const void* payload,
+                       size_t payload_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOError("cannot create " + path);
+  ColumnFileHeader hdr;
+  hdr.encoding = encoding;
+  hdr.value_count = value_count;
+  bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+  ok = ok && (payload_bytes == 0 ||
+              std::fwrite(payload, payload_bytes, 1, f) == 1);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return IOError("short write to " + path);
+  return OkStatus();
+}
+
+Status ReadColumnFile(const std::string& path, uint32_t expected_encoding,
+                      uint64_t* value_count, std::vector<uint8_t>* payload) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("cannot open " + path);
+  ColumnFileHeader hdr;
+  if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 ||
+      hdr.magic != ColumnFileHeader::kMagic ||
+      hdr.encoding != expected_encoding) {
+    std::fclose(f);
+    return IOError("bad column header in " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < static_cast<long>(sizeof(hdr))) {
+    std::fclose(f);
+    return IOError("truncated column file " + path);
+  }
+  payload->resize(static_cast<size_t>(end) - sizeof(hdr));
+  std::fseek(f, sizeof(hdr), SEEK_SET);
+  const bool ok = payload->empty() ||
+                  std::fread(payload->data(), payload->size(), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return IOError("short read from " + path);
+  *value_count = hdr.value_count;
+  return OkStatus();
+}
+
+// index.meta match is all-or-nothing: any mismatch (fingerprint, counts,
+// version) means rebuild.
+bool MetaMatches(const std::string& path, uint64_t fingerprint,
+                 uint64_t num_postings, uint32_t num_docs,
+                 uint32_t vocab_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  IndexMetaHeader meta;
+  const bool read_ok = std::fread(&meta, sizeof(meta), 1, f) == 1;
+  std::fclose(f);
+  return read_ok && meta.magic == IndexMetaHeader::kMagic &&
+         meta.version == IndexMetaHeader::kVersion &&
+         meta.corpus_fingerprint == fingerprint &&
+         meta.num_postings == num_postings && meta.num_docs == num_docs &&
+         meta.vocab_size == vocab_size;
+}
+
+Status WriteMeta(const std::string& path, uint64_t fingerprint,
+                 uint64_t num_postings, uint32_t num_docs,
+                 uint32_t vocab_size) {
+  IndexMetaHeader meta;
+  meta.corpus_fingerprint = fingerprint;
+  meta.num_postings = num_postings;
+  meta.num_docs = num_docs;
+  meta.vocab_size = vocab_size;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOError("cannot create " + path);
+  bool ok = std::fwrite(&meta, sizeof(meta), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return IOError("short write to " + path);
+  return OkStatus();
+}
+
+Status MakeBlockSource(std::vector<uint8_t> block,
+                       std::unique_ptr<vec::BlockVectorSource>* out,
+                       uint64_t expected_n, const char* what) {
+  auto src_or = vec::BlockVectorSource::Create(std::move(block));
+  if (!src_or.ok()) return src_or.status();
+  if (src_or.value()->size() != expected_n) {
+    return Internal(StrFormat("%s block holds %llu values, expected %llu",
+                              what,
+                              static_cast<unsigned long long>(
+                                  src_or.value()->size()),
+                              static_cast<unsigned long long>(expected_n)));
+  }
+  *out = std::move(src_or.value());
+  return OkStatus();
+}
+
+}  // namespace
+
+Status InvertedIndex::TryLoadColumns(const std::string& dir) {
+  // BlockVectorSource::Create deep-validates the payloads, so a corrupt
+  // file fails loudly here and the caller falls back to a rebuild.
+  const uint64_t n = num_postings_;
+  std::vector<uint8_t> docid_block, tf_block;
+  uint64_t docid_n = 0, tf_n = 0;
+  X100IR_RETURN_IF_ERROR(ReadColumnFile(dir + "/" + kDocidCompressedFile,
+                                        ColumnFileHeader::kCompressedBlock,
+                                        &docid_n, &docid_block));
+  X100IR_RETURN_IF_ERROR(ReadColumnFile(dir + "/" + kTfCompressedFile,
+                                        ColumnFileHeader::kCompressedBlock,
+                                        &tf_n, &tf_block));
+  if (docid_n != n || tf_n != n) {
+    return Internal("column files disagree with index.meta");
+  }
+  X100IR_RETURN_IF_ERROR(
+      MakeBlockSource(std::move(docid_block), &docid_source_, n, "docid"));
+  return MakeBlockSource(std::move(tf_block), &tf_source_, n, "tf");
+}
+
+Status InvertedIndex::EncodeAndPersist(const std::string& dir,
+                                       uint64_t corpus_fingerprint,
+                                       const std::vector<int32_t>& docid_col,
+                                       const std::vector<int32_t>& tf_col) {
+  const uint64_t n = docid_col.size();
+  // Docid deltas keep FOR base 0 (force_base): within a posting
+  // list deltas are small positives, and the one large negative delta at
+  // each term boundary becomes an exception instead of dragging the frame
+  // base down for the whole block.
+  compress::EncodeOptions docid_opts;
+  docid_opts.force_base = true;
+  std::vector<uint8_t> docid_block, tf_block;
+  compress::BlockStats docid_stats, tf_stats;
+  X100IR_RETURN_IF_ERROR(compress::PforDeltaEncode(
+      docid_col.data(), static_cast<uint32_t>(n), docid_opts, &docid_block,
+      &docid_stats));
+  X100IR_RETURN_IF_ERROR(compress::PforEncode(tf_col.data(),
+                                              static_cast<uint32_t>(n), {},
+                                              &tf_block, &tf_stats));
+
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return IOError("cannot create index dir " + dir);
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kDocidRawFile, ColumnFileHeader::kRawI32, n,
+        docid_col.data(), docid_col.size() * sizeof(int32_t)));
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kTfRawFile, ColumnFileHeader::kRawI32, n, tf_col.data(),
+        tf_col.size() * sizeof(int32_t)));
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kDocidCompressedFile, ColumnFileHeader::kCompressedBlock,
+        n, docid_block.data(), docid_block.size()));
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kTfCompressedFile, ColumnFileHeader::kCompressedBlock, n,
+        tf_block.data(), tf_block.size()));
+    // Meta last: a torn run leaves columns without meta, which reads as
+    // "rebuild" next time instead of "trust stale files".
+    X100IR_RETURN_IF_ERROR(WriteMeta(dir + "/" + kIndexMetaFile,
+                                     corpus_fingerprint, n, num_docs_,
+                                     vocab_size()));
+  }
+
+  X100IR_RETURN_IF_ERROR(
+      MakeBlockSource(std::move(docid_block), &docid_source_, n, "docid"));
+  return MakeBlockSource(std::move(tf_block), &tf_source_, n, "tf");
+}
+
+Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
+                                      const std::string& dir,
+                                      BuildStats* stats) {
+  if (stats == nullptr) return InvalidArgument("null build stats");
+  *stats = BuildStats();
+  if (corpus.num_postings() == 0) {
+    return InvalidArgument("corpus has no postings");
+  }
+  if (corpus.num_postings() > UINT32_MAX) {
+    return InvalidArgument("TD table exceeds one block (2^32 postings)");
+  }
+  WallTimer timer;
+
+  num_docs_ = corpus.num_docs();
+  num_postings_ = corpus.num_postings();
+  avg_doc_len_ = corpus.avg_doc_len();
+  doc_lens_ = corpus.doc_lens();
+
+  // Counting sort into (term, docid) order: df histogram, prefix sums,
+  // then one sequential pass over the documents (docids ascend within each
+  // term's range because docs are visited in docid order).
+  const uint32_t vocab = corpus.vocab_size();
+  terms_.assign(vocab, TermInfo());
+  for (uint32_t d = 0; d < num_docs_; ++d) {
+    for (const DocTerm& p : corpus.doc(d)) ++terms_[p.term].doc_freq;
+  }
+  uint64_t start = 0;
+  for (uint32_t t = 0; t < vocab; ++t) {
+    terms_[t].posting_start = start;
+    start += terms_[t].doc_freq;
+    terms_[t].idf = Bm25Idf(num_docs_, terms_[t].doc_freq);
+  }
+
+  // Reuse check before materializing the TD columns: a fingerprint match
+  // makes the counting sort + encode (the expensive part, ~8 bytes/posting
+  // of scratch) unnecessary, so don't pay for it on every reopen.
+  const uint64_t fingerprint = corpus.Fingerprint();
+  if (!dir.empty() &&
+      MetaMatches(dir + "/" + kIndexMetaFile, fingerprint, num_postings_,
+                  num_docs_, vocab_size()) &&
+      TryLoadColumns(dir).ok()) {
+    stats->reused_files = true;
+  } else {
+    std::vector<int32_t> docid_col(num_postings_);
+    std::vector<int32_t> tf_col(num_postings_);
+    std::vector<uint64_t> fill(vocab);
+    for (uint32_t t = 0; t < vocab; ++t) fill[t] = terms_[t].posting_start;
+    for (uint32_t d = 0; d < num_docs_; ++d) {
+      for (const DocTerm& p : corpus.doc(d)) {
+        const uint64_t pos = fill[p.term]++;
+        docid_col[pos] = static_cast<int32_t>(d);
+        tf_col[pos] = p.tf;
+      }
+    }
+    X100IR_RETURN_IF_ERROR(
+        EncodeAndPersist(dir, fingerprint, docid_col, tf_col));
+  }
+  stats->num_postings = num_postings_;
+  stats->build_seconds = timer.ElapsedSeconds();
+  return OkStatus();
+}
+
+Status InvertedIndex::DecodePostings(uint32_t term,
+                                     std::vector<int32_t>* docids,
+                                     std::vector<int32_t>* tfs) const {
+  if (term >= terms_.size()) return InvalidArgument("term out of range");
+  const TermInfo& info = terms_[term];
+  if (docids != nullptr) {
+    docids->resize(info.doc_freq);
+    if (info.doc_freq > 0) {
+      docid_source_->Read(info.posting_start, info.doc_freq, docids->data());
+    }
+  }
+  if (tfs != nullptr) {
+    tfs->resize(info.doc_freq);
+    if (info.doc_freq > 0) {
+      tf_source_->Read(info.posting_start, info.doc_freq, tfs->data());
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace x100ir::ir

@@ -1,0 +1,75 @@
+// Builds the inverted index from a Corpus as compressed columns and serves
+// per-term posting ranges to the search engine.
+//
+// The index owns two block-backed VectorSources (TD.docid via PFOR-DELTA,
+// TD.tf via PFOR) over the whole TD table; a query scans a term's postings
+// through a SliceVectorSource window — range decode touches only the
+// 128-value windows overlapping the term's range, which is the paper's
+// fine-granularity skipping. The uncompressed doclen column stays in memory
+// (4 bytes/doc; the gather in the BM25 score operator wants O(1) access).
+//
+// With a non-empty directory, BuildFromCorpus persists the columns (raw +
+// compressed + index.meta) and on the next open reuses the compressed
+// files when the corpus fingerprint matches — Database::Open's
+// build-or-reuse contract.
+#ifndef X100IR_IR_INDEX_BUILDER_H_
+#define X100IR_IR_INDEX_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/corpus.h"
+#include "ir/index_meta.h"
+#include "vec/mem_source.h"
+
+namespace x100ir::ir {
+
+class InvertedIndex {
+ public:
+  // Builds (or reloads, see above) the index. `dir` empty = in-memory only.
+  // The corpus must outlive the index (doclen and stats are shared).
+  Status BuildFromCorpus(const Corpus& corpus, const std::string& dir,
+                         BuildStats* stats);
+
+  uint32_t num_docs() const { return num_docs_; }
+  uint32_t vocab_size() const {
+    return static_cast<uint32_t>(terms_.size());
+  }
+  uint64_t num_postings() const { return num_postings_; }
+  double avg_doc_len() const { return avg_doc_len_; }
+
+  const TermInfo& term(uint32_t t) const { return terms_[t]; }
+  const std::vector<int32_t>& doc_lens() const { return doc_lens_; }
+
+  // Whole-TD-table columns; slice with [term(t).posting_start,
+  // + term(t).doc_freq) for one posting list.
+  const vec::VectorSource* docid_source() const { return docid_source_.get(); }
+  const vec::VectorSource* tf_source() const { return tf_source_.get(); }
+
+  // Convenience full decode of one term's postings (tests, oracles;
+  // queries go through ScanOperator instead). Either output may be null.
+  Status DecodePostings(uint32_t term, std::vector<int32_t>* docids,
+                        std::vector<int32_t>* tfs) const;
+
+ private:
+  // Loads the compressed column files from a fingerprint-matched dir; any
+  // failure (missing, truncated, corrupt) means "rebuild", not "error".
+  Status TryLoadColumns(const std::string& dir);
+  Status EncodeAndPersist(const std::string& dir, uint64_t corpus_fingerprint,
+                          const std::vector<int32_t>& docid_col,
+                          const std::vector<int32_t>& tf_col);
+
+  uint32_t num_docs_ = 0;
+  uint64_t num_postings_ = 0;
+  double avg_doc_len_ = 0.0;
+  std::vector<TermInfo> terms_;
+  std::vector<int32_t> doc_lens_;
+  std::unique_ptr<vec::BlockVectorSource> docid_source_;
+  std::unique_ptr<vec::BlockVectorSource> tf_source_;
+};
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_INDEX_BUILDER_H_

@@ -1,0 +1,83 @@
+// Layout of the inverted index, relationally (the paper's §3 schema): one
+// TD table sorted by (term, docid) stored as columns, plus per-document and
+// per-term side tables.
+//
+//   TD.docid  — int32, ascending within each term's posting range;
+//               PFOR-DELTA-compressed (term-boundary resets become
+//               exceptions, §3.3's 11.98 bits/tuple column)
+//   TD.tf     — int32 term frequency; PFOR-compressed (§3.3's 8.13 bits)
+//   D.doclen  — int32 per-document length (BM25 normalization)
+//   T         — per-term posting range [start, start + count) into TD,
+//               document frequency (== count) and precomputed BM25 idf
+//
+// On disk each column is one file under the index directory (named below,
+// shared with the storage/ benches); `index.meta` carries the corpus
+// fingerprint that gates reuse. The builder lives in index_builder.h.
+#ifndef X100IR_IR_INDEX_META_H_
+#define X100IR_IR_INDEX_META_H_
+
+#include <cstdint>
+
+namespace x100ir::ir {
+
+// Column file names under the index directory. "raw" files are plain int32
+// arrays behind a ColumnFileHeader; "pfor*" files hold one compressed block
+// (compress/codec.h) behind the same header. Score columns are written by
+// the materialization runs (a later PR) — named here so the layout is
+// complete.
+inline constexpr char kDocidRawFile[] = "td_docid_raw.col";
+inline constexpr char kDocidCompressedFile[] = "td_docid_pfordelta.col";
+inline constexpr char kTfRawFile[] = "td_tf_raw.col";
+inline constexpr char kTfCompressedFile[] = "td_tf_pfor.col";
+inline constexpr char kScoreF32File[] = "td_score_f32.col";
+inline constexpr char kScoreQ8File[] = "td_score_q8.col";
+inline constexpr char kIndexMetaFile[] = "index.meta";
+
+// Every column file starts with this header.
+struct ColumnFileHeader {
+  static constexpr uint32_t kMagic = 0x58434F4C;  // "XCOL"
+  enum Encoding : uint32_t {
+    kRawI32 = 0,        // payload: value_count * int32
+    kCompressedBlock = 1,  // payload: one self-describing codec block
+  };
+
+  uint32_t magic = kMagic;
+  uint32_t encoding = kRawI32;
+  uint64_t value_count = 0;
+};
+
+// index.meta payload: identifies which corpus the column files were built
+// from. Everything else (term ranges, doclens, idf) is recomputed from the
+// corpus, which is itself deterministic.
+struct IndexMetaHeader {
+  static constexpr uint32_t kMagic = 0x5844584D;  // "XDXM"
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint64_t corpus_fingerprint = 0;
+  uint64_t num_postings = 0;
+  uint32_t num_docs = 0;
+  uint32_t vocab_size = 0;
+};
+
+// Per-term entry of the T table.
+struct TermInfo {
+  uint64_t posting_start = 0;
+  uint32_t doc_freq = 0;
+  float idf = 0.0f;
+};
+
+// What Database::Open reports about index construction (bench_util.h
+// prints it).
+struct BuildStats {
+  uint64_t num_postings = 0;
+  double build_seconds = 0.0;
+  // True when the compressed column files on disk matched the corpus
+  // fingerprint and were loaded instead of re-encoded.
+  bool reused_files = false;
+};
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_INDEX_META_H_

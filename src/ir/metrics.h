@@ -1,0 +1,59 @@
+// Retrieval-effectiveness metrics over the corpus's planted qrels: the
+// paper reports early precision (p@20 over the judged queries) for every
+// Table 1/2 run.
+#ifndef X100IR_IR_METRICS_H_
+#define X100IR_IR_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "ir/corpus.h"
+
+namespace x100ir::ir {
+
+// Relevance judgments, lifted from the corpus's planted topics. The
+// corpus must outlive the Qrels (relevant-doc lists are borrowed).
+class Qrels {
+ public:
+  explicit Qrels(const Corpus& corpus) : corpus_(&corpus) {}
+
+  uint32_t num_topics() const { return corpus_->num_topics(); }
+
+  bool IsRelevant(int32_t topic, int32_t docid) const {
+    if (topic < 0 ||
+        static_cast<uint32_t>(topic) >= corpus_->num_topics()) {
+      return false;
+    }
+    const auto& rel = corpus_->relevant_docs(static_cast<uint32_t>(topic));
+    return std::binary_search(rel.begin(), rel.end(), docid);
+  }
+
+ private:
+  const Corpus* corpus_;
+};
+
+// Fraction of the first k ranked docids that are relevant to `topic`.
+// Fewer than k results count the missing tail as non-relevant (the TREC
+// convention: p@20 divides by 20 regardless).
+inline double PrecisionAtK(const std::vector<int32_t>& ranked, uint32_t k,
+                           const Qrels& qrels, int32_t topic) {
+  if (k == 0) return 0.0;
+  const uint32_t n = std::min<uint32_t>(k, ranked.size());
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (qrels.IsRelevant(topic, ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_METRICS_H_

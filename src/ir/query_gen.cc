@@ -1,0 +1,83 @@
+#include "ir/query_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace x100ir::ir {
+namespace {
+
+// Term-count distribution for efficiency queries: mean 2.3 (the paper's
+// query-log average), support 1..5.
+uint32_t DrawQueryLen(Rng* rng) {
+  const double u = rng->NextDouble();
+  if (u < 0.25) return 1;
+  if (u < 0.65) return 2;
+  if (u < 0.85) return 3;
+  if (u < 0.95) return 4;
+  return 5;
+}
+
+}  // namespace
+
+std::vector<Query> QueryGenerator::EvalQueries() const {
+  std::vector<Query> out;
+  const uint32_t topics = corpus_->num_topics();
+  if (topics == 0 || opts_.num_eval_queries == 0) return out;
+  Rng rng(opts_.seed ^ 0x45564151ull);  // "EVAQ"
+  out.reserve(opts_.num_eval_queries);
+  for (uint32_t i = 0; i < opts_.num_eval_queries; ++i) {
+    const uint32_t t = i % topics;
+    const auto& terms = corpus_->topic_terms(t);
+    const uint32_t want = 2 + static_cast<uint32_t>(rng.NextBounded(
+                                  std::max<size_t>(1, terms.size() - 1)));
+    // Distinct subset by index rejection (term sets are tiny).
+    Query q;
+    q.topic = static_cast<int32_t>(t);
+    while (q.terms.size() < std::min<size_t>(want, terms.size())) {
+      const uint32_t term = terms[rng.NextBounded(terms.size())];
+      if (std::find(q.terms.begin(), q.terms.end(), term) == q.terms.end()) {
+        q.terms.push_back(term);
+      }
+    }
+    std::sort(q.terms.begin(), q.terms.end());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Query> QueryGenerator::EfficiencyQueries() const {
+  std::vector<Query> out;
+  if (opts_.num_efficiency_queries == 0) return out;
+  Rng rng(opts_.seed ^ 0x45464651ull);  // "EFFQ"
+  const uint32_t vocab = corpus_->vocab_size();
+  // Skip the hyper-frequent head: query terms come from ranks
+  // [head, vocab). With a tiny vocabulary fall back to the full range.
+  const uint32_t head = vocab > 64 ? 8 : 0;
+  out.reserve(opts_.num_efficiency_queries);
+  for (uint32_t i = 0; i < opts_.num_efficiency_queries; ++i) {
+    // Clamp to the drawable range: a hand-built corpus can have fewer
+    // distinct terms than the drawn query length, and the rejection loop
+    // below would never terminate.
+    const uint32_t len = std::min(DrawQueryLen(&rng), vocab - head);
+    Query q;
+    while (q.terms.size() < len) {
+      // Zipf-ish skew without a CDF: u^4 concentrates draws toward the
+      // (damped) head, keeping posting lists long enough that queries do
+      // real work, with a long tail of rarer terms.
+      const double u = rng.NextDouble();
+      const double skew = u * u * u * u;
+      const uint32_t term =
+          head + static_cast<uint32_t>(skew * static_cast<double>(vocab - head));
+      if (term >= vocab) continue;
+      if (std::find(q.terms.begin(), q.terms.end(), term) == q.terms.end()) {
+        q.terms.push_back(term);
+      }
+    }
+    std::sort(q.terms.begin(), q.terms.end());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace x100ir::ir

@@ -1,0 +1,56 @@
+// Query batches for the paper's two experiment kinds (bench_util.h):
+//
+//   - *eval* queries — one per planted topic, drawn from the topic's term
+//     set, carrying the topic id so p@20 can be scored against qrels (the
+//     paper's "subset of 50 preselected queries");
+//   - *efficiency* queries — a large unjudged batch with the short,
+//     mid-rank-skewed term profile of a web query log (the paper's 20,000
+//     efficiency-task queries, avg 2.3 terms).
+//
+// Generation is deterministic from (corpus, options.seed); repeated calls
+// return identical batches.
+#ifndef X100IR_IR_QUERY_GEN_H_
+#define X100IR_IR_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/corpus.h"
+
+namespace x100ir::ir {
+
+struct QueryGenOptions {
+  uint32_t num_eval_queries = 50;
+  uint32_t num_efficiency_queries = 1000;
+  uint64_t seed = 7;
+};
+
+struct Query {
+  std::vector<uint32_t> terms;  // distinct term ids
+  int32_t topic = -1;           // qrels topic for eval queries, else -1
+};
+
+class QueryGenerator {
+ public:
+  // The corpus must outlive the generator.
+  QueryGenerator(const Corpus& corpus, const QueryGenOptions& opts)
+      : corpus_(&corpus), opts_(opts) {}
+
+  // Topic queries: 2..terms_per_topic terms from the topic's term set.
+  // Topics are used round-robin when num_eval_queries exceeds the topic
+  // count. Empty when the corpus has no planted topics.
+  std::vector<Query> EvalQueries() const;
+
+  // Unjudged speed-test batch, ~2.3 terms per query, terms Zipf-skewed but
+  // with the head of the vocabulary damped (real query logs are not made
+  // of stopwords).
+  std::vector<Query> EfficiencyQueries() const;
+
+ private:
+  const Corpus* corpus_;
+  QueryGenOptions opts_;
+};
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_QUERY_GEN_H_

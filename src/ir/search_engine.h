@@ -1,0 +1,120 @@
+// The engine's public query API: RunType selects the paper's Table 2 run
+// configuration, SearchOptions carries the §4 demonstration knobs
+// (vector_size) and the retrieval model parameters, and SearchEngine lowers
+// a (query, run) pair onto a vec:: operator plan over the inverted index's
+// compressed posting columns.
+//
+// Plan shapes (DESIGN.md §6.2):
+//   kBoolAnd — Scan(docid)ₜ per term  → MergeJoin(intersect)      → collect
+//   kBoolOr  — Scan(docid)ₜ per term  → MergeUnion(distinct)      → collect
+//   kBm25    — Scan(docid,tf)ₜ        → Bm25Score(idfₜ, doclen)
+//                                     → MergeUnion(sum scores)    → TopK(k)
+//
+// The storage-era runs (kBm25T and beyond: two-pass, cold-I/O compression,
+// materialization, quantization) are declared here so the Table 1/2 benches
+// compile against the final enum, but Search reports Unimplemented for
+// them until storage/ lands.
+#ifndef X100IR_IR_SEARCH_ENGINE_H_
+#define X100IR_IR_SEARCH_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/index_builder.h"
+#include "ir/query_gen.h"
+
+namespace x100ir::ir {
+
+enum class RunType : uint8_t {
+  kBoolAnd = 0,
+  kBoolOr = 1,
+  kBm25 = 2,
+  kBm25T = 3,      // + two-pass candidate cutoff
+  kBm25TC = 4,     // + compressed cold I/O accounting
+  kBm25TCM = 5,    // + materialized score column
+  kBm25TCMQ8 = 6,  // + 8-bit quantized scores
+};
+
+inline const char* RunTypeName(RunType t) {
+  switch (t) {
+    case RunType::kBoolAnd:
+      return "BoolAND";
+    case RunType::kBoolOr:
+      return "BoolOR";
+    case RunType::kBm25:
+      return "BM25";
+    case RunType::kBm25T:
+      return "BM25T";
+    case RunType::kBm25TC:
+      return "BM25TC";
+    case RunType::kBm25TCM:
+      return "BM25TCM";
+    case RunType::kBm25TCMQ8:
+      return "BM25TCMQ8";
+  }
+  return "UNKNOWN";
+}
+
+inline std::array<RunType, 7> AllRunTypes() {
+  return {RunType::kBoolAnd,  RunType::kBoolOr,   RunType::kBm25,
+          RunType::kBm25T,    RunType::kBm25TC,   RunType::kBm25TCM,
+          RunType::kBm25TCMQ8};
+}
+
+struct Bm25Params {
+  float k1 = 1.2f;
+  float b = 0.75f;
+};
+
+struct SearchOptions {
+  // Execution vector size (the §4 knob bench_vector_size sweeps). Plans
+  // validate at open: 0 is rejected, oversizes clamp to
+  // vec::ExecContext::kMaxVectorSize.
+  uint32_t vector_size = 1024;
+  // Results to return (ranked runs) / result-set cap (boolean runs).
+  uint32_t k = 20;
+  Bm25Params bm25;
+};
+
+struct SearchResult {
+  // Ranked runs: top-k docids with scores, rank order (score desc, docid
+  // asc tiebreak). Boolean runs: up to k matching docids in docid order,
+  // scores empty.
+  std::vector<int32_t> docids;
+  std::vector<float> scores;
+  // Full match count before the k cap (ranked: candidate documents scored).
+  uint64_t num_matches = 0;
+  // Storage-era run telemetry (two-pass runs); always false today.
+  bool used_second_pass = false;
+  double seconds = 0.0;
+
+  double TotalSeconds() const { return seconds; }
+};
+
+class SearchEngine {
+ public:
+  SearchEngine() = default;
+  // The index must outlive the engine.
+  explicit SearchEngine(const InvertedIndex* index) : index_(index) {}
+
+  void set_index(const InvertedIndex* index) { index_ = index; }
+
+  // Runs one query. Builds the plan, executes it, fills `result`
+  // (overwritten), and records wall time in result->seconds.
+  Status Search(const Query& query, RunType type, const SearchOptions& opts,
+                SearchResult* result);
+
+ private:
+  Status SearchBool(const std::vector<uint32_t>& terms, bool conjunctive,
+                    const SearchOptions& opts, SearchResult* result);
+  Status SearchBm25(const std::vector<uint32_t>& terms,
+                    const SearchOptions& opts, SearchResult* result);
+
+  const InvertedIndex* index_ = nullptr;
+};
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_SEARCH_ENGINE_H_

@@ -1,10 +1,16 @@
-// Expression compiler: resolves an Expr tree against a Schema into compiled
-// nodes, each of which makes exactly one primitive call per batch.
+// Expression compiler: resolves an Expr tree against a Schema into a DAG of
+// compiled nodes, each of which makes exactly one primitive call per batch.
+// Structurally identical subtrees are interned into one node (CSE, keyed on
+// op + resolved column indices + literal bits); an eval epoch caches a
+// shared node's output so it runs once per batch regardless of fan-out.
 #include "vec/expression.h"
 
+#include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "vec/primitives.h"
@@ -15,20 +21,67 @@ namespace internal {
 class Node {
  public:
   virtual ~Node() = default;
-  // Evaluates this node's subtree over the batch's active rows. Cannot
-  // fail: all checks happen at compile time.
-  virtual const Vector* Eval(const Batch& batch) = 0;
+
+  // Evaluates this node's subtree over the batch's active rows, at most
+  // once per epoch (parents sharing this node get the cached vector).
+  // Cannot fail: all checks happen at compile time.
+  const Vector* Eval(const Batch& batch, uint64_t epoch) {
+    if (epoch_ != epoch) {
+      cached_ = EvalImpl(batch, epoch);
+      epoch_ = epoch;
+    }
+    return cached_;
+  }
+
+ protected:
+  virtual const Vector* EvalImpl(const Batch& batch, uint64_t epoch) = 0;
+
+ private:
+  uint64_t epoch_ = 0;
+  const Vector* cached_ = nullptr;
 };
 
 namespace {
 
 using NodePtr = std::unique_ptr<Node>;
 
+// Everything CompileOperand threads through the recursion: the node pool
+// (ownership), the CSE memo (structural key -> interned node), and the
+// primitive-call counter the instrumented nodes bump at run time.
+struct CompileCtx {
+  const Schema& schema;
+  uint32_t max_n;
+  std::vector<NodePtr>* pool;
+  std::unordered_map<std::string, Node*>* memo;
+  uint64_t* calls;
+};
+
+// Structural keys. Literal f32s are keyed on their bit pattern so -0.0f /
+// 0.0f (different semantics under division) never unify.
+std::string KeyI32(int32_t v) { return "i" + std::to_string(v); }
+std::string KeyF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return "f" + std::to_string(bits);
+}
+
+template <typename MakeFn>
+Node* Intern(CompileCtx& ctx, const std::string& key, MakeFn make) {
+  auto it = ctx.memo->find(key);
+  if (it != ctx.memo->end()) return it->second;
+  ctx.pool->push_back(make());
+  Node* node = ctx.pool->back().get();
+  ctx.memo->emplace(key, node);
+  return node;
+}
+
 // Bare column reference: zero-copy passthrough of the batch column.
 class ColumnNode : public Node {
  public:
   explicit ColumnNode(uint32_t idx) : idx_(idx) {}
-  const Vector* Eval(const Batch& batch) override {
+
+ protected:
+  const Vector* EvalImpl(const Batch& batch, uint64_t) override {
     return batch.columns[idx_];
   }
 
@@ -46,7 +99,9 @@ class ConstNode : public Node {
     T* dst = out_.Data<T>();
     for (uint32_t i = 0; i < max_n; ++i) dst[i] = value;
   }
-  const Vector* Eval(const Batch&) override { return &out_; }
+
+ protected:
+  const Vector* EvalImpl(const Batch&, uint64_t) override { return &out_; }
 
  private:
   Vector out_;
@@ -55,76 +110,97 @@ class ConstNode : public Node {
 template <typename Op, typename TRes, typename T>
 class ColColNode : public Node {
  public:
-  ColColNode(TypeId out_type, NodePtr a, NodePtr b, uint32_t max_n)
-      : a_(std::move(a)), b_(std::move(b)), out_(out_type, max_n) {}
-  const Vector* Eval(const Batch& batch) override {
-    const Vector* va = a_->Eval(batch);
-    const Vector* vb = b_->Eval(batch);
+  ColColNode(TypeId out_type, Node* a, Node* b, uint32_t max_n,
+             uint64_t* calls)
+      : a_(a), b_(b), out_(out_type, max_n), calls_(calls) {}
+
+ protected:
+  const Vector* EvalImpl(const Batch& batch, uint64_t epoch) override {
+    const Vector* va = a_->Eval(batch, epoch);
+    const Vector* vb = b_->Eval(batch, epoch);
+    ++*calls_;
     MapColCol<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
                               out_.Data<TRes>(), va->Data<T>(), vb->Data<T>());
     return &out_;
   }
 
  private:
-  NodePtr a_, b_;
+  Node* a_;
+  Node* b_;
   Vector out_;
+  uint64_t* calls_;
 };
 
 template <typename Op, typename TRes, typename T>
 class ColValNode : public Node {
  public:
-  ColValNode(TypeId out_type, NodePtr a, T val, uint32_t max_n)
-      : a_(std::move(a)), val_(val), out_(out_type, max_n) {}
-  const Vector* Eval(const Batch& batch) override {
-    const Vector* va = a_->Eval(batch);
+  ColValNode(TypeId out_type, Node* a, T val, uint32_t max_n, uint64_t* calls)
+      : a_(a), val_(val), out_(out_type, max_n), calls_(calls) {}
+
+ protected:
+  const Vector* EvalImpl(const Batch& batch, uint64_t epoch) override {
+    const Vector* va = a_->Eval(batch, epoch);
+    ++*calls_;
     MapColVal<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
                               out_.Data<TRes>(), va->Data<T>(), val_);
     return &out_;
   }
 
  private:
-  NodePtr a_;
+  Node* a_;
   T val_;
   Vector out_;
+  uint64_t* calls_;
 };
 
 template <typename Op, typename TRes, typename T>
 class ValColNode : public Node {
  public:
-  ValColNode(TypeId out_type, T val, NodePtr b, uint32_t max_n)
-      : b_(std::move(b)), val_(val), out_(out_type, max_n) {}
-  const Vector* Eval(const Batch& batch) override {
-    const Vector* vb = b_->Eval(batch);
+  ValColNode(TypeId out_type, T val, Node* b, uint32_t max_n, uint64_t* calls)
+      : b_(b), val_(val), out_(out_type, max_n), calls_(calls) {}
+
+ protected:
+  const Vector* EvalImpl(const Batch& batch, uint64_t epoch) override {
+    const Vector* vb = b_->Eval(batch, epoch);
+    ++*calls_;
     MapValCol<Op, TRes, T, T>(batch.count, batch.sel, batch.sel_count,
                               out_.Data<TRes>(), val_, vb->Data<T>());
     return &out_;
   }
 
  private:
-  NodePtr b_;
+  Node* b_;
   T val_;
   Vector out_;
+  uint64_t* calls_;
 };
 
 class CastF32Node : public Node {
  public:
-  CastF32Node(NodePtr a, uint32_t max_n)
-      : a_(std::move(a)), out_(TypeId::kF32, max_n) {}
-  const Vector* Eval(const Batch& batch) override {
-    const Vector* va = a_->Eval(batch);
+  CastF32Node(Node* a, uint32_t max_n, uint64_t* calls)
+      : a_(a), out_(TypeId::kF32, max_n), calls_(calls) {}
+
+ protected:
+  const Vector* EvalImpl(const Batch& batch, uint64_t epoch) override {
+    const Vector* va = a_->Eval(batch, epoch);
+    ++*calls_;
     MapCol<CastF32Op, float, int32_t>(batch.count, batch.sel, batch.sel_count,
                                       out_.Data<float>(), va->Data<int32_t>());
     return &out_;
   }
 
  private:
-  NodePtr a_;
+  Node* a_;
   Vector out_;
+  uint64_t* calls_;
 };
 
-// A compiled operand: either a node or a still-scalar literal.
+// A compiled operand: either an interned node or a still-scalar literal.
+// `key` is the structural identity used for CSE (folded literals carry
+// their value key so e.g. add(1, 2) and literal 3 unify).
 struct Operand {
-  NodePtr node;  // null for literals
+  Node* node = nullptr;  // null for literals; owned by the pool
+  std::string key;
   TypeId type = TypeId::kI32;
   bool is_const = false;
   int32_t i32 = 0;
@@ -172,10 +248,12 @@ T ScalarOf(const Operand& o) {
                                 : static_cast<T>(o.f32);
 }
 
-// Builds the binary node for one (Op, value type) pair, folding literal
-// operands into *_val shapes. TRes differs from T only for comparisons.
+// Builds (or reuses, via the memo) the binary node for one (Op, value type)
+// pair, folding literal operands into *_val shapes. TRes differs from T
+// only for comparisons.
 template <typename Op, typename T, typename TRes>
-Operand MakeBinary(TypeId out_type, Operand a, Operand b, uint32_t max_n) {
+Operand MakeBinary(CompileCtx& ctx, const char* op_name, TypeId out_type,
+                   Operand a, Operand b) {
   Operand r;
   r.type = out_type;
   if (a.is_const && b.is_const) {
@@ -185,68 +263,79 @@ Operand MakeBinary(TypeId out_type, Operand a, Operand b, uint32_t max_n) {
     r.is_const = true;
     if (out_type == TypeId::kI32) {
       r.i32 = static_cast<int32_t>(v);
+      r.key = KeyI32(r.i32);
     } else {
       r.f32 = static_cast<float>(v);
+      r.key = KeyF32(r.f32);
     }
     return r;
   }
+  r.key = std::string(op_name) + "(" + a.key + "," + b.key + ")";
+  const uint32_t max_n = ctx.max_n;
+  uint64_t* calls = ctx.calls;
   if (b.is_const) {
-    r.node = std::make_unique<ColValNode<Op, TRes, T>>(
-        out_type, std::move(a.node), ScalarOf<T>(b), max_n);
+    const T val = ScalarOf<T>(b);
+    r.node = Intern(ctx, r.key, [&] {
+      return std::make_unique<ColValNode<Op, TRes, T>>(out_type, a.node, val,
+                                                       max_n, calls);
+    });
   } else if (a.is_const) {
-    r.node = std::make_unique<ValColNode<Op, TRes, T>>(
-        out_type, ScalarOf<T>(a), std::move(b.node), max_n);
+    const T val = ScalarOf<T>(a);
+    r.node = Intern(ctx, r.key, [&] {
+      return std::make_unique<ValColNode<Op, TRes, T>>(out_type, val, b.node,
+                                                       max_n, calls);
+    });
   } else {
-    r.node = std::make_unique<ColColNode<Op, TRes, T>>(
-        out_type, std::move(a.node), std::move(b.node), max_n);
+    r.node = Intern(ctx, r.key, [&] {
+      return std::make_unique<ColColNode<Op, TRes, T>>(out_type, a.node,
+                                                       b.node, max_n, calls);
+    });
   }
   return r;
 }
 
 // Dispatches (op kind, operand type) to the right MakeBinary instantiation.
 template <typename T>
-Operand MakeBinaryForOp(OpKind op, Operand a, Operand b, uint32_t max_n) {
+Operand MakeBinaryForOp(CompileCtx& ctx, OpKind op, Operand a, Operand b) {
   switch (op) {
     case OpKind::kAdd:
-      return MakeBinary<AddOp, T, T>(a.type, std::move(a), std::move(b),
-                                     max_n);
+      return MakeBinary<AddOp, T, T>(ctx, "add", a.type, std::move(a),
+                                     std::move(b));
     case OpKind::kSub:
-      return MakeBinary<SubOp, T, T>(a.type, std::move(a), std::move(b),
-                                     max_n);
+      return MakeBinary<SubOp, T, T>(ctx, "sub", a.type, std::move(a),
+                                     std::move(b));
     case OpKind::kMul:
-      return MakeBinary<MulOp, T, T>(a.type, std::move(a), std::move(b),
-                                     max_n);
+      return MakeBinary<MulOp, T, T>(ctx, "mul", a.type, std::move(a),
+                                     std::move(b));
     case OpKind::kDiv:
-      return MakeBinary<DivOp, T, T>(a.type, std::move(a), std::move(b),
-                                     max_n);
+      return MakeBinary<DivOp, T, T>(ctx, "div", a.type, std::move(a),
+                                     std::move(b));
     case OpKind::kLt:
-      return MakeBinary<LtCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<LtCmp, T, int32_t>(ctx, "lt", TypeId::kI32,
+                                           std::move(a), std::move(b));
     case OpKind::kGt:
-      return MakeBinary<GtCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<GtCmp, T, int32_t>(ctx, "gt", TypeId::kI32,
+                                           std::move(a), std::move(b));
     case OpKind::kLe:
-      return MakeBinary<LeCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<LeCmp, T, int32_t>(ctx, "le", TypeId::kI32,
+                                           std::move(a), std::move(b));
     case OpKind::kGe:
-      return MakeBinary<GeCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<GeCmp, T, int32_t>(ctx, "ge", TypeId::kI32,
+                                           std::move(a), std::move(b));
     case OpKind::kEq:
-      return MakeBinary<EqCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<EqCmp, T, int32_t>(ctx, "eq", TypeId::kI32,
+                                           std::move(a), std::move(b));
     case OpKind::kNe:
-      return MakeBinary<NeCmp, T, int32_t>(TypeId::kI32, std::move(a),
-                                           std::move(b), max_n);
+      return MakeBinary<NeCmp, T, int32_t>(ctx, "ne", TypeId::kI32,
+                                           std::move(a), std::move(b));
     default:
       return Operand{};  // unreachable; callers validate op first
   }
 }
 
-Status CompileOperand(const ExprPtr& expr, const Schema& schema,
-                      uint32_t max_n, Operand* out);
+Status CompileOperand(const ExprPtr& expr, CompileCtx& ctx, Operand* out);
 
-Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
-                   Operand* out) {
+Status CompileCall(const Expr& call, CompileCtx& ctx, Operand* out) {
   const OpKind op = LookupOp(call.name());
   if (op == OpKind::kUnknown) {
     return InvalidArgument("unknown primitive op: " + call.name());
@@ -257,7 +346,7 @@ Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
       return InvalidArgument("cast_f32 takes exactly one argument");
     }
     Operand a;
-    X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], schema, max_n, &a));
+    X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], ctx, &a));
     if (a.type == TypeId::kF32) {
       *out = std::move(a);  // already f32: no-op
       return OkStatus();
@@ -266,9 +355,14 @@ Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
     if (a.is_const) {
       out->is_const = true;
       out->f32 = static_cast<float>(a.i32);
+      out->key = KeyF32(out->f32);
       return OkStatus();
     }
-    out->node = std::make_unique<CastF32Node>(std::move(a.node), max_n);
+    out->key = "cast_f32(" + a.key + ")";
+    Node* child = a.node;
+    out->node = Intern(ctx, out->key, [&] {
+      return std::make_unique<CastF32Node>(child, ctx.max_n, ctx.calls);
+    });
     return OkStatus();
   }
 
@@ -277,8 +371,8 @@ Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
                            " takes exactly two arguments");
   }
   Operand a, b;
-  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], schema, max_n, &a));
-  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[1], schema, max_n, &b));
+  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[0], ctx, &a));
+  X100IR_RETURN_IF_ERROR(CompileOperand(call.args()[1], ctx, &b));
   if (a.type != b.type) {
     return InvalidArgument(
         StrFormat("type mismatch in %s: %s vs %s (use cast_f32)",
@@ -297,36 +391,40 @@ Status CompileCall(const Expr& call, const Schema& schema, uint32_t max_n,
     }
   }
   *out = a.type == TypeId::kI32
-             ? MakeBinaryForOp<int32_t>(op, std::move(a), std::move(b), max_n)
-             : MakeBinaryForOp<float>(op, std::move(a), std::move(b), max_n);
+             ? MakeBinaryForOp<int32_t>(ctx, op, std::move(a), std::move(b))
+             : MakeBinaryForOp<float>(ctx, op, std::move(a), std::move(b));
   return OkStatus();
 }
 
-Status CompileOperand(const ExprPtr& expr, const Schema& schema,
-                      uint32_t max_n, Operand* out) {
+Status CompileOperand(const ExprPtr& expr, CompileCtx& ctx, Operand* out) {
   if (expr == nullptr) return InvalidArgument("null expression");
   switch (expr->kind()) {
     case Expr::Kind::kConstI32:
       out->is_const = true;
       out->type = TypeId::kI32;
       out->i32 = expr->i32();
+      out->key = KeyI32(out->i32);
       return OkStatus();
     case Expr::Kind::kConstF32:
       out->is_const = true;
       out->type = TypeId::kF32;
       out->f32 = expr->f32();
+      out->key = KeyF32(out->f32);
       return OkStatus();
     case Expr::Kind::kCol: {
-      const int idx = schema.IndexOf(expr->name());
+      const int idx = ctx.schema.IndexOf(expr->name());
       if (idx < 0) {
         return InvalidArgument("unknown column: " + expr->name());
       }
-      out->type = schema.type(static_cast<uint32_t>(idx));
-      out->node = std::make_unique<ColumnNode>(static_cast<uint32_t>(idx));
+      out->type = ctx.schema.type(static_cast<uint32_t>(idx));
+      out->key = "c" + std::to_string(idx);
+      out->node = Intern(ctx, out->key, [&] {
+        return std::make_unique<ColumnNode>(static_cast<uint32_t>(idx));
+      });
       return OkStatus();
     }
     case Expr::Kind::kCall:
-      return CompileCall(*expr, schema, max_n, out);
+      return CompileCall(*expr, ctx, out);
   }
   return Internal("unreachable expression kind");
 }
@@ -397,24 +495,29 @@ StatusOr<std::unique_ptr<CompiledExpr>> CompiledExpr::Compile(
   if (max_vector_size == 0) {
     return Status(InvalidArgument("max_vector_size must be positive"));
   }
+  std::unique_ptr<CompiledExpr> compiled(new CompiledExpr());
+  std::unordered_map<std::string, internal::Node*> memo;
+  internal::CompileCtx ctx{schema, max_vector_size, &compiled->nodes_, &memo,
+                           &compiled->primitive_calls_};
   internal::Operand root;
-  Status s = internal::CompileOperand(expr, schema, max_vector_size, &root);
+  Status s = internal::CompileOperand(expr, ctx, &root);
   if (!s.ok()) return s;
 
-  std::unique_ptr<CompiledExpr> compiled(new CompiledExpr());
   compiled->out_type_ = root.type;
   compiled->max_vector_size_ = max_vector_size;
   if (root.is_const) {
     // Whole expression folded to a literal: materialize once.
     if (root.type == TypeId::kI32) {
-      compiled->root_ = std::make_unique<internal::ConstNode<int32_t>>(
-          TypeId::kI32, root.i32, max_vector_size);
+      compiled->nodes_.push_back(
+          std::make_unique<internal::ConstNode<int32_t>>(
+              TypeId::kI32, root.i32, max_vector_size));
     } else {
-      compiled->root_ = std::make_unique<internal::ConstNode<float>>(
-          TypeId::kF32, root.f32, max_vector_size);
+      compiled->nodes_.push_back(std::make_unique<internal::ConstNode<float>>(
+          TypeId::kF32, root.f32, max_vector_size));
     }
+    compiled->root_ = compiled->nodes_.back().get();
   } else {
-    compiled->root_ = std::move(root.node);
+    compiled->root_ = root.node;
   }
   compiled->direct_select_ = internal::TryDirectSelect(expr, schema);
   return compiled;
@@ -425,7 +528,7 @@ Status CompiledExpr::Eval(const Batch& batch, const Vector** out) {
   if (batch.count > max_vector_size_) {
     return InvalidArgument("batch larger than compiled vector size");
   }
-  *out = root_->Eval(batch);
+  *out = root_->Eval(batch, ++epoch_);
   return OkStatus();
 }
 
@@ -444,7 +547,7 @@ Status CompiledExpr::EvalSelect(const Batch& batch, sel_t* out_sel,
   if (out_type_ != TypeId::kI32) {
     return InvalidArgument("select predicate must evaluate to i32");
   }
-  const Vector* flags = root_->Eval(batch);
+  const Vector* flags = root_->Eval(batch, ++epoch_);
   *out_count =
       SelectColVal<NeCmp, int32_t>(batch.count, batch.sel, batch.sel_count,
                                    out_sel, flags->Data<int32_t>(), 0);

@@ -7,9 +7,14 @@
 // CompiledExpr::Compile resolves names against a Schema, type-checks, folds
 // literal operands into the *_col_val / _val_col primitive shapes (constants
 // never materialize into vectors unless both operands are literals), and
-// builds a tree of compiled nodes each owning its output Vector. Eval then
-// runs one primitive call per node per batch — the interpretation overhead
-// the vector size amortizes.
+// builds a DAG of compiled nodes each owning its output Vector. Structurally
+// identical subtrees (same op, same resolved columns, same literals) are
+// interned into one shared node — common-subexpression elimination — and an
+// eval epoch makes a shared node run its primitive once per batch no matter
+// how many parents reference it. Eval thus runs one primitive call per
+// *distinct* node per batch — the interpretation overhead the vector size
+// amortizes; primitive_calls() exposes the running call count so tests can
+// pin the CSE effect.
 //
 // Supported ops: add, sub, mul, div (i32/i32 or f32/f32), cast_f32
 // (i32 -> f32), and the comparisons lt, gt, le, ge, eq, ne (result i32
@@ -92,6 +97,15 @@ class CompiledExpr {
 
   TypeId out_type() const { return out_type_; }
 
+  // Total primitive invocations (map/cast calls by non-leaf nodes) across
+  // every Eval/EvalSelect so far. A shared subtree counts once per batch —
+  // the observable CSE win (direct-select fast paths bypass nodes and are
+  // not counted).
+  uint64_t primitive_calls() const { return primitive_calls_; }
+
+  // Distinct compiled nodes after CSE (column refs included).
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+
   // Evaluates over the batch's active rows; *out points at a vector owned
   // by this CompiledExpr (or at a batch column for a bare column ref),
   // valid until the next Eval.
@@ -108,12 +122,19 @@ class CompiledExpr {
  private:
   CompiledExpr() = default;
 
-  std::unique_ptr<internal::Node> root_;
+  // Node pool: owns every distinct node of the DAG; nodes reference each
+  // other (and root_ references into the pool) with raw pointers.
+  std::vector<std::unique_ptr<internal::Node>> nodes_;
+  internal::Node* root_ = nullptr;
   // Fast path for cmp(col, literal): one SelectColVal call, no
   // intermediate vector. Unset for every other shape.
   std::function<uint32_t(const Batch&, sel_t*)> direct_select_;
   TypeId out_type_ = TypeId::kI32;
   uint32_t max_vector_size_ = 0;
+  // Eval epoch: bumped once per Eval/EvalSelect; shared nodes cache their
+  // output vector per epoch so a DAG node evaluates once per batch.
+  uint64_t epoch_ = 0;
+  uint64_t primitive_calls_ = 0;
 };
 
 }  // namespace x100ir::vec

@@ -50,6 +50,34 @@ class MemVectorSource : public VectorSource {
   uint64_t n_;
 };
 
+// A contiguous [offset, offset + len) view over another source — how a
+// per-term posting range becomes a scannable column without copying. The
+// base source must outlive the slice (the inverted index owns the base
+// block sources; slices are per-query). An out-of-range window asserts in
+// debug builds and clamps to the base in release: a buggy caller (e.g. a
+// corrupt term table) then reads a visibly short column instead of
+// forwarding out-of-range positions into the decoder.
+class SliceVectorSource : public VectorSource {
+ public:
+  SliceVectorSource(const VectorSource* base, uint64_t offset, uint64_t len)
+      : base_(base),
+        offset_(offset > base->size() ? base->size() : offset),
+        len_(len < base->size() - offset_ ? len : base->size() - offset_) {
+    assert(offset + len <= base->size());
+  }
+
+  uint64_t size() const override { return len_; }
+  TypeId type() const override { return base_->type(); }
+  void Read(uint64_t pos, uint32_t len, void* dst) const override {
+    base_->Read(offset_ + pos, len, dst);
+  }
+
+ private:
+  const VectorSource* base_;
+  uint64_t offset_;
+  uint64_t len_;
+};
+
 // Owns a compressed block (PFOR / PFOR-DELTA / PDICT) and serves reads via
 // the decoder's entry-point range decode: cost scales with the span read,
 // not the block size.

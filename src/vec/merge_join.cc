@@ -40,9 +40,10 @@ Status MergeJoinOperator::Open() {
   if (children_.empty()) {
     return InvalidArgument("merge-join needs at least one child");
   }
-  if (ctx_ == nullptr || ctx_->vector_size == 0) {
-    return InvalidArgument("merge-join needs a context with vector_size > 0");
+  if (ctx_ == nullptr) {
+    return InvalidArgument("merge-join needs an execution context");
   }
+  X100IR_RETURN_IF_ERROR(ctx_->Validate());
   if (mode_ != MergeMode::kIntersect) {
     return Unimplemented("only kIntersect is implemented");
   }

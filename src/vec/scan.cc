@@ -13,9 +13,10 @@ ScanOperator::ScanOperator(ExecContext* ctx, Schema schema,
 }
 
 Status ScanOperator::Open() {
-  if (ctx_ == nullptr || ctx_->vector_size == 0) {
-    return InvalidArgument("scan needs a context with vector_size > 0");
+  if (ctx_ == nullptr) {
+    return InvalidArgument("scan needs an execution context");
   }
+  X100IR_RETURN_IF_ERROR(ctx_->Validate());
   if (sources_.size() != schema_.NumColumns()) {
     return InvalidArgument(
         StrFormat("scan has %zu sources but schema has %u columns",

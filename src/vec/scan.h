@@ -18,7 +18,25 @@ namespace x100ir::vec {
 
 // Per-query execution knobs, shared by every operator in a plan.
 struct ExecContext {
+  // Largest vector any operator will allocate. Past ~1M values a single
+  // column vector is 4 MB — far beyond any cache level, so bigger sizes
+  // only waste memory; callers sweeping the knob (bench_vector_size) get
+  // clamped instead of OOM-ing the plan.
+  static constexpr uint32_t kMaxVectorSize = 1u << 20;
+
   uint32_t vector_size = 1024;
+
+  // Called by every operator at Open: vector_size arrives from user-facing
+  // APIs (SearchOptions), so the plan rejects 0 and clamps oversizes here
+  // instead of trusting callers. Mutates in place; idempotent, so N
+  // operators sharing one context can all validate.
+  Status Validate() {
+    if (vector_size == 0) {
+      return InvalidArgument("vector_size must be > 0");
+    }
+    if (vector_size > kMaxVectorSize) vector_size = kMaxVectorSize;
+    return OkStatus();
+  }
 };
 
 // Pull-based operator. Lifecycle: Open() once, Next() until *out == nullptr

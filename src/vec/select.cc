@@ -13,9 +13,10 @@ SelectOperator::SelectOperator(ExecContext* ctx, OperatorPtr child,
 
 Status SelectOperator::Open() {
   if (child_ == nullptr) return InvalidArgument("select needs a child");
-  if (ctx_ == nullptr || ctx_->vector_size == 0) {
-    return InvalidArgument("select needs a context with vector_size > 0");
+  if (ctx_ == nullptr) {
+    return InvalidArgument("select needs an execution context");
   }
+  X100IR_RETURN_IF_ERROR(ctx_->Validate());
   X100IR_RETURN_IF_ERROR(child_->Open());
   schema_ = child_->schema();
   auto compiled_or =

@@ -1,0 +1,622 @@
+// End-to-end tests for the query API: corpus generation and qrels, the
+// query generator, index build/persist/reuse, BoolAND/BoolOR result sets vs
+// a naive set oracle, BM25 top-k vs a naive full-scan scorer (the golden
+// retrieval test — acceptance pins agreement to 1e-5), top-k heap
+// semantics, p@20 metrics, and vector-size validation through the public
+// Database::Search API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "ir/corpus.h"
+#include "ir/index_builder.h"
+#include "ir/metrics.h"
+#include "ir/query_gen.h"
+#include "ir/search_engine.h"
+#include "ir/topk.h"
+
+namespace x100ir::ir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+// Naive BM25 scorer: full scan over the corpus, float arithmetic mirroring
+// the fused kernel term by term (idf via the same formula the index
+// builder uses), ranked (score desc, docid asc).
+struct OracleHit {
+  int32_t docid;
+  float score;
+};
+
+std::vector<OracleHit> OracleBm25(const Corpus& corpus,
+                                  const std::vector<uint32_t>& terms,
+                                  const Bm25Params& params) {
+  const uint32_t n_docs = corpus.num_docs();
+  std::vector<uint32_t> sorted_terms = terms;
+  std::sort(sorted_terms.begin(), sorted_terms.end());
+  sorted_terms.erase(std::unique(sorted_terms.begin(), sorted_terms.end()),
+                     sorted_terms.end());
+
+  std::vector<float> idf(sorted_terms.size());
+  for (size_t i = 0; i < sorted_terms.size(); ++i) {
+    uint32_t df = 0;
+    for (uint32_t d = 0; d < n_docs; ++d) {
+      for (const DocTerm& p : corpus.doc(d)) {
+        if (p.term == sorted_terms[i]) ++df;
+      }
+    }
+    idf[i] = static_cast<float>(
+        std::log(1.0 + (static_cast<double>(n_docs) - df + 0.5) / (df + 0.5)));
+  }
+  const float inv_avgdl = static_cast<float>(1.0 / corpus.avg_doc_len());
+
+  std::vector<OracleHit> hits;
+  for (uint32_t d = 0; d < n_docs; ++d) {
+    float score = 0.0f;
+    bool matched = false;
+    for (size_t i = 0; i < sorted_terms.size(); ++i) {
+      for (const DocTerm& p : corpus.doc(d)) {
+        if (p.term != sorted_terms[i]) continue;
+        const float w = idf[i] * (params.k1 + 1.0f);
+        const float c0 = params.k1 * (1.0f - params.b);
+        const float c1 = params.k1 * params.b * inv_avgdl;
+        const float tff = static_cast<float>(p.tf);
+        score += w * tff /
+                 (tff + c0 + c1 * static_cast<float>(corpus.doc_len(d)));
+        matched = true;
+      }
+    }
+    if (matched) hits.push_back({static_cast<int32_t>(d), score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const OracleHit& a,
+                                         const OracleHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.docid < b.docid;
+  });
+  return hits;
+}
+
+// Naive boolean oracle over the corpus.
+std::vector<int32_t> OracleBool(const Corpus& corpus,
+                                const std::vector<uint32_t>& terms,
+                                bool conjunctive) {
+  std::vector<int32_t> out;
+  for (uint32_t d = 0; d < corpus.num_docs(); ++d) {
+    uint32_t present = 0;
+    for (uint32_t t : terms) {
+      for (const DocTerm& p : corpus.doc(d)) {
+        if (p.term == t) {
+          ++present;
+          break;
+        }
+      }
+    }
+    const bool match =
+        conjunctive ? present == terms.size() : present > 0;
+    if (match) out.push_back(static_cast<int32_t>(d));
+  }
+  return out;
+}
+
+// The golden corpus: 8 tiny hand-built documents over a 10-term
+// vocabulary, chosen so AND/OR/ranking all have non-trivial answers.
+Corpus GoldenCorpus() {
+  std::vector<std::vector<uint32_t>> docs = {
+      {0, 1, 2, 2, 3},              // doc 0
+      {1, 2, 4},                    // doc 1
+      {0, 0, 0, 5, 6},              // doc 2
+      {2, 2, 2, 2, 7},              // doc 3
+      {1, 3, 5, 7, 9},              // doc 4
+      {8, 8, 9},                    // doc 5
+      {0, 1, 2, 3, 4, 5, 6, 7, 8},  // doc 6
+      {2, 9},                       // doc 7
+  };
+  Corpus corpus;
+  EXPECT_TRUE(Corpus::FromDocuments(docs, 10, &corpus).ok());
+  return corpus;
+}
+
+CorpusOptions SmallGeneratedOptions() {
+  CorpusOptions opts;
+  opts.num_docs = 2000;
+  opts.vocab_size = 3000;
+  opts.zipf_s = 1.05;
+  opts.doclen_mu = 3.5;  // ~35 terms/doc: keeps the oracle scan fast
+  opts.doclen_sigma = 0.5;
+  opts.num_topics = 12;
+  opts.terms_per_topic = 5;
+  opts.relevant_docs_per_topic = 40;
+  opts.topical_mass = 0.35;
+  opts.topic_rank_min = 20;
+  opts.topic_rank_max = 300;
+  opts.seed = 2007;
+  return opts;
+}
+
+std::string TempIndexDir(const char* name) {
+  return std::string(::testing::TempDir()) + "/x100ir_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus + query generator
+// ---------------------------------------------------------------------------
+
+TEST(Corpus, GenerateIsDeterministicAndShaped) {
+  const CorpusOptions opts = SmallGeneratedOptions();
+  Corpus a, b;
+  ASSERT_TRUE(Corpus::Generate(opts, &a).ok());
+  ASSERT_TRUE(Corpus::Generate(opts, &b).ok());
+  ASSERT_EQ(a.num_docs(), opts.num_docs);
+  ASSERT_EQ(a.num_postings(), b.num_postings());
+  ASSERT_EQ(a.Fingerprint(), b.Fingerprint());
+  for (uint32_t d = 0; d < a.num_docs(); d += 97) {
+    ASSERT_EQ(a.doc(d).size(), b.doc(d).size()) << d;
+    for (size_t i = 0; i < a.doc(d).size(); ++i) {
+      ASSERT_EQ(a.doc(d)[i].term, b.doc(d)[i].term);
+      ASSERT_EQ(a.doc(d)[i].tf, b.doc(d)[i].tf);
+    }
+  }
+  // Log-normal(3.5, 0.5) has mean exp(3.5 + 0.125) ≈ 37.7.
+  EXPECT_GT(a.avg_doc_len(), 25.0);
+  EXPECT_LT(a.avg_doc_len(), 55.0);
+  ASSERT_EQ(a.num_topics(), opts.num_topics);
+  for (uint32_t t = 0; t < a.num_topics(); ++t) {
+    ASSERT_EQ(a.topic_terms(t).size(), opts.terms_per_topic);
+    ASSERT_EQ(a.relevant_docs(t).size(), opts.relevant_docs_per_topic);
+    for (uint32_t term : a.topic_terms(t)) {
+      EXPECT_GE(term, opts.topic_rank_min);
+      EXPECT_LT(term, opts.topic_rank_max);
+    }
+  }
+  // Zipf skew: the most frequent term's df dwarfs a mid-tail term's.
+  Corpus* c = &a;
+  auto df_of = [c](uint32_t term) {
+    uint32_t df = 0;
+    for (uint32_t d = 0; d < c->num_docs(); ++d) {
+      for (const DocTerm& p : c->doc(d)) {
+        if (p.term == term) ++df;
+      }
+    }
+    return df;
+  };
+  EXPECT_GT(df_of(0), 10 * std::max<uint32_t>(1, df_of(1000)));
+
+  // A different seed produces a different stream.
+  CorpusOptions other = opts;
+  other.seed = 4242;
+  Corpus d2;
+  ASSERT_TRUE(Corpus::Generate(other, &d2).ok());
+  EXPECT_NE(a.Fingerprint(), d2.Fingerprint());
+}
+
+TEST(Corpus, RejectsInconsistentOptions) {
+  Corpus c;
+  CorpusOptions opts = SmallGeneratedOptions();
+  opts.num_docs = 0;
+  EXPECT_FALSE(Corpus::Generate(opts, &c).ok());
+
+  opts = SmallGeneratedOptions();
+  opts.topic_rank_max = opts.vocab_size + 1;
+  EXPECT_FALSE(Corpus::Generate(opts, &c).ok());
+
+  opts = SmallGeneratedOptions();
+  opts.relevant_docs_per_topic = opts.num_docs;  // 12 topics won't fit
+  EXPECT_FALSE(Corpus::Generate(opts, &c).ok());
+
+  EXPECT_FALSE(Corpus::FromDocuments({{0, 11}}, 10, &c).ok());  // term range
+  EXPECT_FALSE(Corpus::FromDocuments({{}}, 10, &c).ok());       // empty doc
+}
+
+TEST(QueryGen, EvalQueriesComeFromTopics) {
+  Corpus corpus;
+  ASSERT_TRUE(Corpus::Generate(SmallGeneratedOptions(), &corpus).ok());
+  QueryGenOptions qopts;
+  qopts.num_eval_queries = 30;
+  QueryGenerator gen(corpus, qopts);
+  const auto queries = gen.EvalQueries();
+  ASSERT_EQ(queries.size(), 30u);
+  for (const Query& q : queries) {
+    ASSERT_GE(q.topic, 0);
+    ASSERT_LT(static_cast<uint32_t>(q.topic), corpus.num_topics());
+    ASSERT_GE(q.terms.size(), 1u);
+    const auto& tt = corpus.topic_terms(static_cast<uint32_t>(q.topic));
+    for (uint32_t term : q.terms) {
+      EXPECT_NE(std::find(tt.begin(), tt.end(), term), tt.end());
+    }
+  }
+  // Deterministic across calls.
+  const auto again = gen.EvalQueries();
+  ASSERT_EQ(again.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(again[i].terms, queries[i].terms);
+  }
+}
+
+TEST(QueryGen, EfficiencyQueriesMatchLogShape) {
+  Corpus corpus;
+  ASSERT_TRUE(Corpus::Generate(SmallGeneratedOptions(), &corpus).ok());
+  QueryGenOptions qopts;
+  qopts.num_efficiency_queries = 2000;
+  QueryGenerator gen(corpus, qopts);
+  const auto queries = gen.EfficiencyQueries();
+  ASSERT_EQ(queries.size(), 2000u);
+  double terms = 0.0;
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.topic, -1);
+    ASSERT_GE(q.terms.size(), 1u);
+    ASSERT_LE(q.terms.size(), 5u);
+    std::set<uint32_t> distinct(q.terms.begin(), q.terms.end());
+    EXPECT_EQ(distinct.size(), q.terms.size());
+    for (uint32_t t : q.terms) ASSERT_LT(t, corpus.vocab_size());
+    terms += static_cast<double>(q.terms.size());
+  }
+  const double avg = terms / static_cast<double>(queries.size());
+  EXPECT_GT(avg, 2.0);  // paper's query log: 2.3 terms on average
+  EXPECT_LT(avg, 2.6);
+}
+
+TEST(QueryGen, TinyVocabularyTerminates) {
+  // Drawn query lengths can exceed a hand-built corpus's distinct-term
+  // count; the generator must clamp instead of spinning forever.
+  Corpus tiny;
+  ASSERT_TRUE(Corpus::FromDocuments({{0, 1, 0}, {1, 2}}, 3, &tiny).ok());
+  QueryGenOptions qopts;
+  qopts.num_efficiency_queries = 50;
+  QueryGenerator gen(tiny, qopts);
+  const auto queries = gen.EfficiencyQueries();
+  ASSERT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    ASSERT_GE(q.terms.size(), 1u);
+    ASSERT_LE(q.terms.size(), 3u);
+  }
+  EXPECT_TRUE(gen.EvalQueries().empty());  // no planted topics
+}
+
+// ---------------------------------------------------------------------------
+// Index build, persistence, reuse
+// ---------------------------------------------------------------------------
+
+TEST(Index, PostingsRoundTripAgainstCorpus) {
+  Corpus corpus = GoldenCorpus();
+  InvertedIndex index;
+  BuildStats stats;
+  ASSERT_TRUE(index.BuildFromCorpus(corpus, "", &stats).ok());
+  ASSERT_EQ(stats.num_postings, corpus.num_postings());
+  ASSERT_EQ(index.num_docs(), corpus.num_docs());
+
+  // Term 2 appears in docs 0 (tf 2), 1 (tf 1), 3 (tf 4), 6 (tf 1),
+  // 7 (tf 1).
+  std::vector<int32_t> docids, tfs;
+  ASSERT_TRUE(index.DecodePostings(2, &docids, &tfs).ok());
+  EXPECT_EQ(docids, (std::vector<int32_t>{0, 1, 3, 6, 7}));
+  EXPECT_EQ(tfs, (std::vector<int32_t>{2, 1, 4, 1, 1}));
+  EXPECT_EQ(index.term(2).doc_freq, 5u);
+
+  // Every term's decoded postings match a corpus scan.
+  for (uint32_t t = 0; t < corpus.vocab_size(); ++t) {
+    ASSERT_TRUE(index.DecodePostings(t, &docids, &tfs).ok());
+    std::vector<int32_t> want_docs;
+    std::vector<int32_t> want_tfs;
+    for (uint32_t d = 0; d < corpus.num_docs(); ++d) {
+      for (const DocTerm& p : corpus.doc(d)) {
+        if (p.term == t) {
+          want_docs.push_back(static_cast<int32_t>(d));
+          want_tfs.push_back(p.tf);
+        }
+      }
+    }
+    EXPECT_EQ(docids, want_docs) << "term " << t;
+    EXPECT_EQ(tfs, want_tfs) << "term " << t;
+  }
+}
+
+TEST(Index, PersistsAndReusesColumnFiles) {
+  const std::string dir = TempIndexDir("reuse");
+  std::filesystem::remove_all(dir);
+
+  Corpus corpus;
+  ASSERT_TRUE(Corpus::Generate(SmallGeneratedOptions(), &corpus).ok());
+
+  InvertedIndex first;
+  BuildStats stats;
+  ASSERT_TRUE(first.BuildFromCorpus(corpus, dir, &stats).ok());
+  EXPECT_FALSE(stats.reused_files);
+  EXPECT_EQ(stats.num_postings, corpus.num_postings());
+  for (const char* f : {kDocidRawFile, kDocidCompressedFile, kTfRawFile,
+                        kTfCompressedFile, kIndexMetaFile}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + f)) << f;
+  }
+  // Compression earns its keep on the synthetic collection.
+  EXPECT_LT(std::filesystem::file_size(dir + "/" + kDocidCompressedFile),
+            std::filesystem::file_size(dir + "/" + kDocidRawFile) / 2);
+
+  InvertedIndex second;
+  ASSERT_TRUE(second.BuildFromCorpus(corpus, dir, &stats).ok());
+  EXPECT_TRUE(stats.reused_files);
+  std::vector<int32_t> a, b;
+  ASSERT_TRUE(first.DecodePostings(50, &a, nullptr).ok());
+  ASSERT_TRUE(second.DecodePostings(50, &b, nullptr).ok());
+  EXPECT_EQ(a, b);
+
+  // A different corpus fingerprint must not reuse the files.
+  CorpusOptions other_opts = SmallGeneratedOptions();
+  other_opts.seed = 99;
+  Corpus other;
+  ASSERT_TRUE(Corpus::Generate(other_opts, &other).ok());
+  InvertedIndex third;
+  ASSERT_TRUE(third.BuildFromCorpus(other, dir, &stats).ok());
+  EXPECT_FALSE(stats.reused_files);
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Golden retrieval: engine vs oracles
+// ---------------------------------------------------------------------------
+
+class GoldenSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = GoldenCorpus();
+    BuildStats stats;
+    ASSERT_TRUE(index_.BuildFromCorpus(corpus_, "", &stats).ok());
+    engine_.set_index(&index_);
+  }
+
+  Corpus corpus_;
+  InvertedIndex index_;
+  SearchEngine engine_;
+};
+
+TEST_F(GoldenSearchTest, BooleanRunsMatchSetOracle) {
+  const std::vector<std::vector<uint32_t>> term_sets = {
+      {2}, {0, 2}, {1, 2, 3}, {8, 9}, {0, 5}, {4, 6, 8}};
+  for (const auto& terms : term_sets) {
+    for (bool conjunctive : {true, false}) {
+      Query q;
+      q.terms = terms;
+      SearchOptions opts;
+      opts.k = 100;  // no truncation at this scale
+      SearchResult result;
+      ASSERT_TRUE(engine_
+                      .Search(q,
+                              conjunctive ? RunType::kBoolAnd
+                                          : RunType::kBoolOr,
+                              opts, &result)
+                      .ok());
+      const auto want = OracleBool(corpus_, terms, conjunctive);
+      EXPECT_EQ(result.docids, want)
+          << (conjunctive ? "AND" : "OR") << " terms[0]=" << terms[0];
+      EXPECT_EQ(result.num_matches, want.size());
+      EXPECT_TRUE(result.scores.empty());
+    }
+  }
+}
+
+TEST_F(GoldenSearchTest, BooleanRespectsResultCap) {
+  Query q;
+  q.terms = {2};
+  SearchOptions opts;
+  opts.k = 2;
+  SearchResult result;
+  ASSERT_TRUE(engine_.Search(q, RunType::kBoolOr, opts, &result).ok());
+  EXPECT_EQ(result.docids, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(result.num_matches, 5u);  // full count survives the cap
+}
+
+TEST_F(GoldenSearchTest, Bm25TopKMatchesOracleTo1e5) {
+  const std::vector<std::vector<uint32_t>> term_sets = {
+      {2}, {0, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {9}, {5, 8}};
+  for (const auto& terms : term_sets) {
+    Query q;
+    q.terms = terms;
+    SearchOptions opts;
+    opts.k = 4;
+    SearchResult result;
+    ASSERT_TRUE(engine_.Search(q, RunType::kBm25, opts, &result).ok());
+    const auto oracle = OracleBm25(corpus_, terms, opts.bm25);
+    const size_t want_n = std::min<size_t>(opts.k, oracle.size());
+    ASSERT_EQ(result.docids.size(), want_n) << "terms[0]=" << terms[0];
+    ASSERT_EQ(result.scores.size(), want_n);
+    EXPECT_EQ(result.num_matches, oracle.size());
+    for (size_t i = 0; i < want_n; ++i) {
+      EXPECT_EQ(result.docids[i], oracle[i].docid)
+          << "rank " << i << " terms[0]=" << terms[0];
+      EXPECT_NEAR(result.scores[i], oracle[i].score, 1e-5) << "rank " << i;
+    }
+    // Ranked output is ordered (score desc, docid asc).
+    for (size_t i = 1; i < want_n; ++i) {
+      const bool ordered =
+          result.scores[i - 1] > result.scores[i] ||
+          (result.scores[i - 1] == result.scores[i] &&
+           result.docids[i - 1] < result.docids[i]);
+      EXPECT_TRUE(ordered) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(GoldenSearchTest, HandlesDuplicateTermsAndErrors) {
+  Query q;
+  q.terms = {2, 2, 0};
+  SearchOptions opts;
+  SearchResult dup, nodup;
+  ASSERT_TRUE(engine_.Search(q, RunType::kBm25, opts, &dup).ok());
+  q.terms = {0, 2};
+  ASSERT_TRUE(engine_.Search(q, RunType::kBm25, opts, &nodup).ok());
+  EXPECT_EQ(dup.docids, nodup.docids);
+
+  q.terms = {};
+  SearchResult r;
+  EXPECT_FALSE(engine_.Search(q, RunType::kBm25, opts, &r).ok());
+  q.terms = {1000};
+  EXPECT_FALSE(engine_.Search(q, RunType::kBm25, opts, &r).ok());
+
+  q.terms = {2};
+  const Status s = engine_.Search(q, RunType::kBm25T, opts, &r);
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+// The same oracle agreement on a generated corpus, through the Database
+// facade, across several vector sizes (including ones that exercise
+// refill paths mid-posting-list).
+TEST(Database, Bm25MatchesOracleOnGeneratedCorpusAcrossVectorSizes) {
+  core::Database db;
+  core::DatabaseOptions dopts;
+  dopts.corpus = SmallGeneratedOptions();
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  QueryGenOptions qopts;
+  qopts.num_eval_queries = 6;
+  QueryGenerator gen(db.corpus(), qopts);
+  const auto queries = gen.EvalQueries();
+  ASSERT_FALSE(queries.empty());
+
+  for (const Query& q : queries) {
+    SearchOptions opts;
+    opts.k = 10;
+    const auto oracle = OracleBm25(db.corpus(), q.terms, opts.bm25);
+    for (uint32_t vs : {1u, 3u, 64u, 1024u, 1u << 15}) {
+      opts.vector_size = vs;
+      SearchResult result;
+      ASSERT_TRUE(db.Search(q, RunType::kBm25, opts, &result).ok());
+      const size_t want_n = std::min<size_t>(opts.k, oracle.size());
+      ASSERT_EQ(result.docids.size(), want_n) << "vs=" << vs;
+      for (size_t i = 0; i < want_n; ++i) {
+        EXPECT_EQ(result.docids[i], oracle[i].docid)
+            << "vs=" << vs << " rank " << i;
+        EXPECT_NEAR(result.scores[i], oracle[i].score, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(Database, ValidatesVectorSizeThroughPublicApi) {
+  core::Database db;
+  core::DatabaseOptions dopts;
+  CorpusOptions small = SmallGeneratedOptions();
+  small.num_docs = 300;
+  small.vocab_size = 500;
+  small.num_topics = 4;
+  small.relevant_docs_per_topic = 20;
+  small.topic_rank_max = 300;
+  dopts.corpus = small;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  Query q;
+  q.terms = {10, 20};
+  SearchResult result;
+
+  SearchOptions opts;
+  opts.vector_size = 0;
+  const Status s = db.Search(q, RunType::kBm25, opts, &result);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  // Oversize clamps (plan still runs) and agrees with the default size.
+  SearchOptions big;
+  big.vector_size = vec::ExecContext::kMaxVectorSize * 4;
+  SearchResult clamped, base;
+  ASSERT_TRUE(db.Search(q, RunType::kBm25, big, &clamped).ok());
+  ASSERT_TRUE(db.Search(q, RunType::kBm25, SearchOptions{}, &base).ok());
+  EXPECT_EQ(clamped.docids, base.docids);
+
+  // Unopened database refuses queries.
+  core::Database closed;
+  EXPECT_FALSE(closed.Search(q, RunType::kBm25, SearchOptions{}, &result).ok());
+}
+
+// ---------------------------------------------------------------------------
+// TopK
+// ---------------------------------------------------------------------------
+
+TEST(TopK, KeepsStrongestWithDocidTiebreak) {
+  TopK topk(3);
+  topk.Push(5, 1.0f);
+  topk.Push(9, 3.0f);
+  EXPECT_EQ(topk.threshold(), -std::numeric_limits<float>::infinity());
+  topk.Push(1, 2.0f);
+  EXPECT_FLOAT_EQ(topk.threshold(), 1.0f);
+  topk.Push(7, 2.0f);   // evicts (5, 1.0)
+  topk.Push(2, 2.0f);   // ties 2.0: docid 2 beats docid 7
+  topk.Push(8, 0.5f);   // too weak
+  topk.Push(11, 2.0f);  // ties 2.0 but docid 11 loses to 1 and 2
+
+  std::vector<int32_t> docids;
+  std::vector<float> scores;
+  topk.FinishSorted(&docids, &scores);
+  EXPECT_EQ(docids, (std::vector<int32_t>{9, 1, 2}));
+  EXPECT_EQ(scores, (std::vector<float>{3.0f, 2.0f, 2.0f}));
+}
+
+TEST(TopK, KLargerThanStreamReturnsEverythingRanked) {
+  TopK topk(10);
+  topk.Push(3, 0.25f);
+  topk.Push(1, 0.75f);
+  std::vector<int32_t> docids;
+  std::vector<float> scores;
+  topk.FinishSorted(&docids, &scores);
+  EXPECT_EQ(docids, (std::vector<int32_t>{1, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, PrecisionAtKAgainstKnownQrels) {
+  Corpus corpus;
+  ASSERT_TRUE(Corpus::Generate(SmallGeneratedOptions(), &corpus).ok());
+  Qrels qrels(corpus);
+  const auto& rel = corpus.relevant_docs(0);
+  ASSERT_GE(rel.size(), 10u);
+
+  // 3 relevant docs in the top 4, then noise: p@4 = 0.75.
+  std::vector<int32_t> ranked = {rel[0], rel[1], -1, rel[2]};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 4, qrels, 0), 0.75);
+  // Same list scored against a different topic: docs are topic-disjoint.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 4, qrels, 1), 0.0);
+  // Short result lists divide by k, not by the list length.
+  std::vector<int32_t> short_list = {rel[0]};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(short_list, 20, qrels, 0), 0.05);
+  // Unjudged sentinel topic.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 4, qrels, -1), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({0.5, 1.0, 0.0}), 0.5);
+}
+
+// The planted topics give BM25 real signal: eval queries retrieve their
+// topic's documents far better than chance, and better than BoolAND's
+// unranked matches. Deterministic (fixed seeds), so thresholds are safe.
+TEST(Metrics, Bm25BeatsBooleanOnPlantedTopics) {
+  core::Database db;
+  core::DatabaseOptions dopts;
+  dopts.corpus = SmallGeneratedOptions();
+  ASSERT_TRUE(db.Open(dopts).ok());
+  Qrels qrels(db.corpus());
+
+  QueryGenOptions qopts;
+  qopts.num_eval_queries = 12;
+  QueryGenerator gen(db.corpus(), qopts);
+  std::vector<double> bm25_p20, and_p20;
+  for (const Query& q : gen.EvalQueries()) {
+    SearchOptions opts;
+    SearchResult result;
+    ASSERT_TRUE(db.Search(q, RunType::kBm25, opts, &result).ok());
+    bm25_p20.push_back(PrecisionAtK(result.docids, 20, qrels, q.topic));
+    ASSERT_TRUE(db.Search(q, RunType::kBoolAnd, opts, &result).ok());
+    and_p20.push_back(PrecisionAtK(result.docids, 20, qrels, q.topic));
+  }
+  EXPECT_GT(Mean(bm25_p20), 0.2);
+  EXPECT_GT(Mean(bm25_p20), Mean(and_p20));
+}
+
+}  // namespace
+}  // namespace x100ir::ir

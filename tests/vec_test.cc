@@ -294,6 +294,87 @@ TEST(Expression, EvalSelectDirectAndGenericAgree) {
   for (uint32_t i = 0; i < ka; ++i) ASSERT_LT(x[sel_a[i]], 500) << i;
 }
 
+TEST(Expression, CSESharedSubtreeEvaluatesOncePerBatch) {
+  // A BM25-shaped composition where tf_f = cast_f32(tf) occurs twice
+  // (numerator and denominator — DESIGN.md §5's motivating case). Distinct
+  // primitive nodes after CSE: cast_f32(tf), mul(2.5, tf_f),
+  // cast_f32(len), mul(0.3, len_f), add(tf_f, ·), div — six, where a tree
+  // build would run the tf cast twice (seven calls per batch).
+  const uint32_t n = 256;
+  auto tf = RandomInts(n, 20, 31);
+  auto len = RandomInts(n, 300, 32);
+  Schema schema;
+  schema.Add("tf", TypeId::kI32);
+  schema.Add("len", TypeId::kI32);
+
+  auto tf_f = Expr::Call("cast_f32", {Expr::Col("tf")});
+  auto len_f = Expr::Call("cast_f32", {Expr::Col("len")});
+  auto num = Expr::Call("mul", {Expr::ConstF32(2.5f), tf_f});
+  auto den = Expr::Call(
+      "add", {tf_f, Expr::Call("mul", {Expr::ConstF32(0.3f), len_f})});
+  auto expr = Expr::Call("div", {num, den});
+
+  auto compiled_or = CompiledExpr::Compile(expr, schema, n);
+  ASSERT_TRUE(compiled_or.ok());
+  auto& compiled = compiled_or.value();
+  EXPECT_EQ(compiled->primitive_calls(), 0u);
+
+  Vector vtf(TypeId::kI32, n), vlen(TypeId::kI32, n);
+  vtf.Fill(tf.data(), n);
+  vlen.Fill(len.data(), n);
+  Batch batch;
+  batch.count = n;
+  batch.columns = {&vtf, &vlen};
+
+  const Vector* out = nullptr;
+  ASSERT_TRUE(compiled->Eval(batch, &out).ok());
+  EXPECT_EQ(compiled->primitive_calls(), 6u);
+  ASSERT_TRUE(compiled->Eval(batch, &out).ok());
+  EXPECT_EQ(compiled->primitive_calls(), 12u);  // once per node per batch
+
+  // Correctness survives the sharing.
+  const float* res = out->Data<float>();
+  for (uint32_t i = 0; i < n; ++i) {
+    const float tff = static_cast<float>(tf[i]);
+    const float want =
+        2.5f * tff / (tff + 0.3f * static_cast<float>(len[i]));
+    ASSERT_FLOAT_EQ(res[i], want) << i;
+  }
+}
+
+TEST(Expression, CSEUnifiesIdenticalCallTrees) {
+  // add(mul(a, b), mul(a, b)): the whole mul subtree is shared, so per
+  // batch only two primitives run (one mul, one add) over four nodes
+  // total (2 column refs + mul + add).
+  const uint32_t n = 128;
+  auto a = RandomInts(n, 100, 33);
+  auto b = RandomInts(n, 100, 34);
+  Schema schema;
+  schema.Add("a", TypeId::kI32);
+  schema.Add("b", TypeId::kI32);
+  auto mul = Expr::Call("mul", {Expr::Col("a"), Expr::Col("b")});
+  auto expr = Expr::Call("add", {mul, Expr::Call("mul", {Expr::Col("a"),
+                                                         Expr::Col("b")})});
+  auto compiled_or = CompiledExpr::Compile(expr, schema, n);
+  ASSERT_TRUE(compiled_or.ok());
+  auto& compiled = compiled_or.value();
+  EXPECT_EQ(compiled->num_nodes(), 4u);
+
+  Vector va(TypeId::kI32, n), vb(TypeId::kI32, n);
+  va.Fill(a.data(), n);
+  vb.Fill(b.data(), n);
+  Batch batch;
+  batch.count = n;
+  batch.columns = {&va, &vb};
+  const Vector* out = nullptr;
+  ASSERT_TRUE(compiled->Eval(batch, &out).ok());
+  EXPECT_EQ(compiled->primitive_calls(), 2u);
+  const int32_t* res = out->Data<int32_t>();
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(res[i], 2 * a[i] * b[i]) << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scan / select operators
 // ---------------------------------------------------------------------------
@@ -360,6 +441,37 @@ TEST(Scan, CompressedBlockSourceMatchesOriginal) {
   }
   scan.Close();
   EXPECT_EQ(got, values);
+}
+
+TEST(Scan, ValidatesVectorSizeAtOpen) {
+  auto values = RandomInts(64, 100, 41);
+  auto make_scan = [&](ExecContext* ctx) {
+    Schema schema;
+    schema.Add("v", TypeId::kI32);
+    std::vector<VectorSourcePtr> sources;
+    sources.push_back(std::make_unique<MemVectorSource<int32_t>>(values));
+    return ScanOperator(ctx, std::move(schema), std::move(sources));
+  };
+  {
+    ExecContext ctx;
+    ctx.vector_size = 0;  // rejected, not trusted
+    ScanOperator scan = make_scan(&ctx);
+    const Status s = scan.Open();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecContext ctx;
+    ctx.vector_size = ExecContext::kMaxVectorSize * 8;  // clamped
+    ScanOperator scan = make_scan(&ctx);
+    ASSERT_TRUE(scan.Open().ok());
+    EXPECT_EQ(ctx.vector_size, ExecContext::kMaxVectorSize);
+    Batch* b = nullptr;
+    ASSERT_TRUE(scan.Next(&b).ok());
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->count, 64u);
+    scan.Close();
+  }
 }
 
 TEST(Scan, RejectsMismatchedSources) {
