@@ -43,6 +43,12 @@ int Run() {
   for (uint32_t vs : sizes) {
     ir::SearchOptions opts;
     opts.vector_size = vs;
+    // The §4 figure is about the *interpretation overhead* of the pure
+    // vectorized pipeline, so pin the PR 3 score-all union plan: MaxScore
+    // pruning (PR 4) deliberately decouples work from vector size, which
+    // would flatten exactly the curve this bench demonstrates
+    // (bench_table1_systems measures that path instead).
+    opts.maxscore_bm25 = false;
     ir::SearchResult result;
     double total = 0.0;
     for (const auto& q : queries) {

@@ -4,11 +4,10 @@
 #include "compress/codec.h"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
-#include <utility>
 
 #include "compress/block_layout.h"
+#include "compress/unpack.h"
 
 namespace x100ir::compress {
 
@@ -53,57 +52,9 @@ inline void WriteCode(uint8_t* dst, uint64_t index, int b, uint32_t code) {
   std::memcpy(dst + (bit >> 3), &word, sizeof(word));
 }
 
-// LOOP1 kernels, specialized per width so the shift/mask constants fold and
-// the compiler can unroll. No data-dependent branches in the loop body.
-template <int B>
-void UnpackAdd(const uint8_t* src, uint32_t wn, int32_t base, int32_t* out) {
-  constexpr uint64_t kMask = (1ull << B) - 1;
-  const uint32_t ubase = static_cast<uint32_t>(base);
-  uint64_t bit = 0;
-  for (uint32_t i = 0; i < wn; ++i, bit += B) {
-    uint64_t word;
-    std::memcpy(&word, src + (bit >> 3), sizeof(word));
-    // Unsigned add so exception slots (whose codeword is a link, not a
-    // value) can't hit signed overflow before LOOP2 patches them.
-    out[i] = static_cast<int32_t>(
-        ubase + static_cast<uint32_t>((word >> (bit & 7)) & kMask));
-  }
-}
-
-template <int B>
-void UnpackDict(const uint8_t* src, uint32_t wn, const int32_t* dict,
-                int32_t* out) {
-  constexpr uint64_t kMask = (1ull << B) - 1;
-  uint64_t bit = 0;
-  for (uint32_t i = 0; i < wn; ++i, bit += B) {
-    uint64_t word;
-    std::memcpy(&word, src + (bit >> 3), sizeof(word));
-    // The dictionary is padded to 1 << B entries, so even link codewords in
-    // exception slots (patched later by LOOP2) index in-bounds.
-    out[i] = dict[(word >> (bit & 7)) & kMask];
-  }
-}
-
-using UnpackAddFn = void (*)(const uint8_t*, uint32_t, int32_t, int32_t*);
-using UnpackDictFn = void (*)(const uint8_t*, uint32_t, const int32_t*,
-                              int32_t*);
-
-template <std::size_t... I>
-constexpr std::array<UnpackAddFn, sizeof...(I)> MakeUnpackAddTable(
-    std::index_sequence<I...>) {
-  return {{&UnpackAdd<static_cast<int>(I)>...}};
-}
-
-template <std::size_t... I>
-constexpr std::array<UnpackDictFn, sizeof...(I)> MakeUnpackDictTable(
-    std::index_sequence<I...>) {
-  return {{&UnpackDict<static_cast<int>(I)>...}};
-}
-
-constexpr auto kUnpackAdd =
-    MakeUnpackAddTable(std::make_index_sequence<kMaxBitWidth + 1>{});
-constexpr auto kUnpackDict =
-    MakeUnpackDictTable(std::make_index_sequence<kMaxBitWidth + 1>{});
+// LOOP1 kernels live in unpack.h / simd_unpack.cc: per-width scalar
+// templates plus SIMD shuffle kernels for b in {4, 8, 16}, resolved at
+// runtime through internal::GetUnpackAdd / GetUnpackDict.
 
 inline uint32_t Align8(uint32_t x) { return (x + 7u) & ~7u; }
 
@@ -472,6 +423,10 @@ Status BlockDecoder::Validate() const {
   return OkStatus();
 }
 
+int32_t BlockDecoder::WindowValueBase(uint32_t w) const {
+  return EntryAt(w).value_base;
+}
+
 BlockDecoder::Entry BlockDecoder::EntryAt(uint32_t w) const {
   EntryPoint ep;
   std::memcpy(&ep, entries_ + static_cast<size_t>(w) * sizeof(EntryPoint),
@@ -503,9 +458,9 @@ void BlockDecoder::DecodeWindow(uint32_t w, int32_t* dst) const {
     // LOOP1: branch-free unpack (exception slots decode to garbage links;
     // LOOP2 overwrites them).
     if (scheme_ == Scheme::kPdict) {
-      kUnpackDict[bit_width_](src, wn, dict_, dst);
+      internal::GetUnpackDict(bit_width_)(src, wn, dict_, dst);
     } else {
-      kUnpackAdd[bit_width_](src, wn, base_, dst);
+      internal::GetUnpackAdd(bit_width_)(src, wn, base_, dst);
     }
     // LOOP2: patch exceptions from the materialized records — sequential
     // reads, scattered stores, no data-dependent branches.
@@ -567,8 +522,8 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
   }
 
   const bool dict_scheme = scheme_ == Scheme::kPdict;
-  const auto unpack_add = kUnpackAdd[bit_width_];
-  const auto unpack_dict = kUnpackDict[bit_width_];
+  const auto unpack_add = internal::GetUnpackAdd(bit_width_);
+  const auto unpack_dict = internal::GetUnpackDict(bit_width_);
   const auto* exc = reinterpret_cast<const ExceptionRecord*>(exceptions_);
   int32_t delta_acc = 0;
 

@@ -141,6 +141,14 @@ class BlockDecoder {
   // pos >= n() write nothing.
   void Decode(uint32_t pos, uint32_t len, int32_t* out) const;
 
+  // Entry-point metadata for skip-aware consumers (skip_cursor.h): the
+  // running value immediately before window w — i.e. the last value of
+  // window w - 1. Meaningful for PFOR-DELTA blocks (always 0 elsewhere);
+  // w must be < entry_count(). Over a sorted sub-range this is the
+  // window-max oracle that lets SkipTo reject whole windows without
+  // decoding them.
+  int32_t WindowValueBase(uint32_t w) const;
+
   // mask[i] = true iff value i is stored as an exception. For branch-trace
   // simulation (DESIGN.md §3.5).
   void ExceptionMask(std::vector<bool>* mask) const;

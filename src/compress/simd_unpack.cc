@@ -1,0 +1,353 @@
+// LOOP1 unpack kernels: the scalar per-width template table (the portable
+// ground truth) and the SSE/NEON shuffle-table kernels for b in {4, 8, 16},
+// plus the runtime dispatch described in unpack.h.
+#include "compress/unpack.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "compress/codec.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define X100IR_UNPACK_SSE 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define X100IR_UNPACK_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace x100ir::compress::internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (moved verbatim from codec.cc). One unaligned 64-bit load
+// per codeword; callers guarantee 8 readable bytes past the last codeword.
+// ---------------------------------------------------------------------------
+
+template <int B>
+void UnpackAdd(const uint8_t* src, uint32_t n, int32_t base, int32_t* out) {
+  constexpr uint64_t kMask = (1ull << B) - 1;
+  const uint32_t ubase = static_cast<uint32_t>(base);
+  uint64_t bit = 0;
+  for (uint32_t i = 0; i < n; ++i, bit += B) {
+    uint64_t word;
+    std::memcpy(&word, src + (bit >> 3), sizeof(word));
+    // Unsigned add so exception slots (whose codeword is a link, not a
+    // value) can't hit signed overflow before LOOP2 patches them.
+    out[i] = static_cast<int32_t>(
+        ubase + static_cast<uint32_t>((word >> (bit & 7)) & kMask));
+  }
+}
+
+template <int B>
+void UnpackDict(const uint8_t* src, uint32_t n, const int32_t* dict,
+                int32_t* out) {
+  constexpr uint64_t kMask = (1ull << B) - 1;
+  uint64_t bit = 0;
+  for (uint32_t i = 0; i < n; ++i, bit += B) {
+    uint64_t word;
+    std::memcpy(&word, src + (bit >> 3), sizeof(word));
+    // The dictionary is padded to 1 << B entries, so even link codewords in
+    // exception slots (patched later by LOOP2) index in-bounds.
+    out[i] = dict[(word >> (bit & 7)) & kMask];
+  }
+}
+
+template <std::size_t... I>
+constexpr std::array<UnpackAddFn, sizeof...(I)> MakeUnpackAddTable(
+    std::index_sequence<I...>) {
+  return {{&UnpackAdd<static_cast<int>(I)>...}};
+}
+
+template <std::size_t... I>
+constexpr std::array<UnpackDictFn, sizeof...(I)> MakeUnpackDictTable(
+    std::index_sequence<I...>) {
+  return {{&UnpackDict<static_cast<int>(I)>...}};
+}
+
+constexpr auto kScalarUnpackAdd =
+    MakeUnpackAddTable(std::make_index_sequence<kMaxBitWidth + 1>{});
+constexpr auto kScalarUnpackDict =
+    MakeUnpackDictTable(std::make_index_sequence<kMaxBitWidth + 1>{});
+
+// ---------------------------------------------------------------------------
+// SSE (SSSE3) kernels. Each processes whole 16-byte input groups — the
+// group never reads past the bytes its own codewords occupy, so no extra
+// slack beyond the scalar contract is needed — and hands the sub-group
+// tail to the scalar kernel at a byte-aligned resume point (b=4 groups are
+// 32 codes, so the resume bit offset is always a whole byte).
+// ---------------------------------------------------------------------------
+
+#if defined(X100IR_UNPACK_SSE)
+
+__attribute__((target("ssse3"))) void UnpackAdd8Sse(const uint8_t* src,
+                                                    uint32_t n, int32_t base,
+                                                    int32_t* out) {
+  const __m128i vbase = _mm_set1_epi32(base);
+  // Shuffle tables: spread bytes j..j+3 of the load into the low byte of
+  // each 32-bit lane; 0x80 lanes zero-fill (the pshufb sign-bit rule).
+  const __m128i m0 = _mm_setr_epi8(0, -128, -128, -128, 1, -128, -128, -128,
+                                   2, -128, -128, -128, 3, -128, -128, -128);
+  const __m128i m1 = _mm_setr_epi8(4, -128, -128, -128, 5, -128, -128, -128,
+                                   6, -128, -128, -128, 7, -128, -128, -128);
+  const __m128i m2 = _mm_setr_epi8(8, -128, -128, -128, 9, -128, -128, -128,
+                                   10, -128, -128, -128, 11, -128, -128,
+                                   -128);
+  const __m128i m3 = _mm_setr_epi8(12, -128, -128, -128, 13, -128, -128,
+                                   -128, 14, -128, -128, -128, 15, -128,
+                                   -128, -128);
+  uint32_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, m0), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, m1), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, m2), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 12),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, m3), vbase));
+  }
+  if (i < n) UnpackAdd<8>(src + i, n - i, base, out + i);
+}
+
+__attribute__((target("ssse3"))) void UnpackAdd16Sse(const uint8_t* src,
+                                                     uint32_t n, int32_t base,
+                                                     int32_t* out) {
+  const __m128i vbase = _mm_set1_epi32(base);
+  const __m128i mlo = _mm_setr_epi8(0, 1, -128, -128, 2, 3, -128, -128, 4, 5,
+                                    -128, -128, 6, 7, -128, -128);
+  const __m128i mhi = _mm_setr_epi8(8, 9, -128, -128, 10, 11, -128, -128, 12,
+                                    13, -128, -128, 14, 15, -128, -128);
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 2 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, mlo), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     _mm_add_epi32(_mm_shuffle_epi8(v, mhi), vbase));
+  }
+  if (i < n) UnpackAdd<16>(src + 2 * i, n - i, base, out + i);
+}
+
+__attribute__((target("ssse3"))) void UnpackAdd4Sse(const uint8_t* src,
+                                                    uint32_t n, int32_t base,
+                                                    int32_t* out) {
+  const __m128i vbase = _mm_set1_epi32(base);
+  const __m128i nib = _mm_set1_epi8(0x0f);
+  const __m128i m0 = _mm_setr_epi8(0, -128, -128, -128, 1, -128, -128, -128,
+                                   2, -128, -128, -128, 3, -128, -128, -128);
+  const __m128i m1 = _mm_setr_epi8(4, -128, -128, -128, 5, -128, -128, -128,
+                                   6, -128, -128, -128, 7, -128, -128, -128);
+  const __m128i m2 = _mm_setr_epi8(8, -128, -128, -128, 9, -128, -128, -128,
+                                   10, -128, -128, -128, 11, -128, -128,
+                                   -128);
+  const __m128i m3 = _mm_setr_epi8(12, -128, -128, -128, 13, -128, -128,
+                                   -128, 14, -128, -128, -128, 15, -128,
+                                   -128, -128);
+  uint32_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    // 16 bytes = 32 nibbles. LSB-first packing puts the even code in the
+    // low nibble: interleaving (lo, hi) per byte restores code order.
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i / 2));
+    const __m128i lo = _mm_and_si128(v, nib);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), nib);
+    const __m128i c0 = _mm_unpacklo_epi8(lo, hi);  // codes 0..15 as bytes
+    const __m128i c1 = _mm_unpackhi_epi8(lo, hi);  // codes 16..31
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi32(_mm_shuffle_epi8(c0, m0), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     _mm_add_epi32(_mm_shuffle_epi8(c0, m1), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8),
+                     _mm_add_epi32(_mm_shuffle_epi8(c0, m2), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 12),
+                     _mm_add_epi32(_mm_shuffle_epi8(c0, m3), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 16),
+                     _mm_add_epi32(_mm_shuffle_epi8(c1, m0), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 20),
+                     _mm_add_epi32(_mm_shuffle_epi8(c1, m1), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 24),
+                     _mm_add_epi32(_mm_shuffle_epi8(c1, m2), vbase));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 28),
+                     _mm_add_epi32(_mm_shuffle_epi8(c1, m3), vbase));
+  }
+  if (i < n) UnpackAdd<4>(src + i / 2, n - i, base, out + i);
+}
+
+#endif  // X100IR_UNPACK_SSE
+
+// ---------------------------------------------------------------------------
+// NEON kernels (AArch64: NEON is architectural, no runtime check needed).
+// Same group structure as the SSE kernels: whole 16-byte groups, scalar
+// tail at a byte-aligned resume point.
+// ---------------------------------------------------------------------------
+
+#if defined(X100IR_UNPACK_NEON)
+
+void UnpackAdd8Neon(const uint8_t* src, uint32_t n, int32_t base,
+                    int32_t* out) {
+  const int32x4_t vbase = vdupq_n_s32(base);
+  uint32_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(src + i);
+    const uint16x8_t lo = vmovl_u8(vget_low_u8(v));
+    const uint16x8_t hi = vmovl_u8(vget_high_u8(v));
+    vst1q_s32(out + i, vaddq_s32(vreinterpretq_s32_u32(
+                                     vmovl_u16(vget_low_u16(lo))),
+                                 vbase));
+    vst1q_s32(out + i + 4, vaddq_s32(vreinterpretq_s32_u32(
+                                         vmovl_u16(vget_high_u16(lo))),
+                                     vbase));
+    vst1q_s32(out + i + 8, vaddq_s32(vreinterpretq_s32_u32(
+                                         vmovl_u16(vget_low_u16(hi))),
+                                     vbase));
+    vst1q_s32(out + i + 12, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_high_u16(hi))),
+                                      vbase));
+  }
+  if (i < n) UnpackAdd<8>(src + i, n - i, base, out + i);
+}
+
+void UnpackAdd16Neon(const uint8_t* src, uint32_t n, int32_t base,
+                     int32_t* out) {
+  const int32x4_t vbase = vdupq_n_s32(base);
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint16x8_t v = vreinterpretq_u16_u8(vld1q_u8(src + 2 * i));
+    vst1q_s32(out + i, vaddq_s32(vreinterpretq_s32_u32(
+                                     vmovl_u16(vget_low_u16(v))),
+                                 vbase));
+    vst1q_s32(out + i + 4, vaddq_s32(vreinterpretq_s32_u32(
+                                         vmovl_u16(vget_high_u16(v))),
+                                     vbase));
+  }
+  if (i < n) UnpackAdd<16>(src + 2 * i, n - i, base, out + i);
+}
+
+void UnpackAdd4Neon(const uint8_t* src, uint32_t n, int32_t base,
+                    int32_t* out) {
+  const int32x4_t vbase = vdupq_n_s32(base);
+  const uint8x16_t nib = vdupq_n_u8(0x0f);
+  uint32_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const uint8x16_t v = vld1q_u8(src + i / 2);
+    const uint8x16_t lo = vandq_u8(v, nib);
+    const uint8x16_t hi = vandq_u8(vshrq_n_u8(v, 4), nib);
+    // LSB-first: even code in the low nibble; zip restores code order.
+    const uint8x16_t c0 = vzip1q_u8(lo, hi);  // codes 0..15 as bytes
+    const uint8x16_t c1 = vzip2q_u8(lo, hi);  // codes 16..31
+    const uint16x8_t w0 = vmovl_u8(vget_low_u8(c0));
+    const uint16x8_t w1 = vmovl_u8(vget_high_u8(c0));
+    const uint16x8_t w2 = vmovl_u8(vget_low_u8(c1));
+    const uint16x8_t w3 = vmovl_u8(vget_high_u8(c1));
+    vst1q_s32(out + i, vaddq_s32(vreinterpretq_s32_u32(
+                                     vmovl_u16(vget_low_u16(w0))),
+                                 vbase));
+    vst1q_s32(out + i + 4, vaddq_s32(vreinterpretq_s32_u32(
+                                         vmovl_u16(vget_high_u16(w0))),
+                                     vbase));
+    vst1q_s32(out + i + 8, vaddq_s32(vreinterpretq_s32_u32(
+                                         vmovl_u16(vget_low_u16(w1))),
+                                     vbase));
+    vst1q_s32(out + i + 12, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_high_u16(w1))),
+                                      vbase));
+    vst1q_s32(out + i + 16, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_low_u16(w2))),
+                                      vbase));
+    vst1q_s32(out + i + 20, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_high_u16(w2))),
+                                      vbase));
+    vst1q_s32(out + i + 24, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_low_u16(w3))),
+                                      vbase));
+    vst1q_s32(out + i + 28, vaddq_s32(vreinterpretq_s32_u32(
+                                          vmovl_u16(vget_high_u16(w3))),
+                                      vbase));
+  }
+  if (i < n) UnpackAdd<4>(src + i / 2, n - i, base, out + i);
+}
+
+#endif  // X100IR_UNPACK_NEON
+
+SimdLevel DetectSimdLevel() {
+#if defined(X100IR_UNPACK_SSE)
+  return __builtin_cpu_supports("ssse3") ? SimdLevel::kSse
+                                         : SimdLevel::kScalar;
+#elif defined(X100IR_UNPACK_NEON)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel HostSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+UnpackAddFn SimdUnpackAddOrNull(int b) {
+  switch (HostSimdLevel()) {
+#if defined(X100IR_UNPACK_SSE)
+    case SimdLevel::kSse:
+      if (b == 4) return &UnpackAdd4Sse;
+      if (b == 8) return &UnpackAdd8Sse;
+      if (b == 16) return &UnpackAdd16Sse;
+      return nullptr;
+#endif
+#if defined(X100IR_UNPACK_NEON)
+    case SimdLevel::kNeon:
+      if (b == 4) return &UnpackAdd4Neon;
+      if (b == 8) return &UnpackAdd8Neon;
+      if (b == 16) return &UnpackAdd16Neon;
+      return nullptr;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+bool g_simd_enabled = true;
+
+}  // namespace
+
+UnpackAddFn ScalarUnpackAdd(int b) { return kScalarUnpackAdd[b]; }
+UnpackDictFn ScalarUnpackDict(int b) { return kScalarUnpackDict[b]; }
+
+UnpackAddFn GetUnpackAdd(int b) {
+  if (g_simd_enabled) {
+    if (UnpackAddFn fn = SimdUnpackAddOrNull(b)) return fn;
+  }
+  return kScalarUnpackAdd[b];
+}
+
+UnpackDictFn GetUnpackDict(int b) { return kScalarUnpackDict[b]; }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse:
+      return "ssse3";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+SimdLevel ActiveSimdLevel() {
+  return g_simd_enabled ? HostSimdLevel() : SimdLevel::kScalar;
+}
+
+bool SimdUnpackAvailable(int b) {
+  return g_simd_enabled && SimdUnpackAddOrNull(b) != nullptr;
+}
+
+void SetSimdUnpackEnabled(bool enabled) { g_simd_enabled = enabled; }
+bool SimdUnpackEnabled() { return g_simd_enabled; }
+
+}  // namespace x100ir::compress::internal

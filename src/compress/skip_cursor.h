@@ -1,0 +1,183 @@
+// Block-skipping scan support: a forward cursor over a *sorted* sub-range
+// of a PFOR-DELTA block (one term's posting window of the TD.docid column)
+// whose SkipTo(target) decodes only windows that can contain the probe.
+//
+// The trick is that every entry point already stores the running value
+// before its window (value_base, needed by LOOP3's seeded prefix sum), so
+// the last value of window w is WindowValueBase(w + 1) — readable without
+// decoding anything. Over a sorted range those per-window maxima are
+// nondecreasing, which turns "first window that can contain target" into a
+// binary search over entry points; only the one candidate window is then
+// range-decoded (128 values) and searched. Windows the search jumps over
+// are never touched — the paper's fine-granularity skipping, upgraded from
+// positional (Decode(pos, len)) to value-based.
+//
+// Boundary care, pinned by Codec.SortedRangeCursor* tests:
+//   - the range is a *sub-range*: positions outside [begin, end) may belong
+//     to other terms and are not sorted relative to it (force_base makes
+//     each term-boundary reset a plain exception, invisible here);
+//   - the window containing end - 1 may extend past the range; its stored
+//     value_base successor would describe out-of-range values, so it is
+//     always treated as a decode candidate rather than trusted;
+//   - SkipTo never moves backwards: probes must be nondecreasing, which the
+//     merge-join guarantees (docids ascend).
+//
+// The cursor is cheap to construct (no allocation beyond a 128-value window
+// buffer) and single-threaded like everything else in a plan.
+#ifndef X100IR_COMPRESS_SKIP_CURSOR_H_
+#define X100IR_COMPRESS_SKIP_CURSOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.h"
+#include "compress/codec.h"
+
+namespace x100ir::compress {
+
+// Per-cursor skipping telemetry, folded into the query's ExecStats by the
+// operators that own cursors.
+struct SkipStats {
+  uint64_t windows_decoded = 0;  // 128-value windows actually decoded
+  uint64_t windows_skipped = 0;  // windows jumped over without decoding
+  uint64_t skip_calls = 0;       // SkipTo invocations
+};
+
+class SortedRangeCursor {
+ public:
+  SortedRangeCursor() = default;
+
+  // The decoder (and its block) must outlive the cursor. Values at
+  // positions [begin, end) must be nondecreasing — the caller's contract,
+  // true for any single term's slice of TD.docid.
+  Status Init(const BlockDecoder* dec, uint64_t begin, uint64_t end) {
+    if (dec == nullptr) return InvalidArgument("null decoder");
+    if (dec->scheme() != Scheme::kPforDelta) {
+      return InvalidArgument(
+          "skip cursor needs window value bases (PFOR-DELTA)");
+    }
+    if (begin > end || end > dec->n()) {
+      return InvalidArgument("cursor range out of bounds");
+    }
+    dec_ = dec;
+    begin_ = begin;
+    end_ = end;
+    pos_ = begin;
+    win_ = kNoWindow;
+    stats_ = SkipStats();
+    return OkStatus();
+  }
+
+  bool AtEnd() const { return pos_ >= end_; }
+  uint64_t position() const { return pos_; }
+  const SkipStats& stats() const { return stats_; }
+
+  // Current value; requires !AtEnd(). Decodes the containing window on
+  // first access (lazily, so a cursor that is only ever skipped past a
+  // window never pays for it).
+  int32_t value() {
+    EnsureWindow();
+    return win_vals_[pos_ - win_base_];
+  }
+
+  // Advances one position; returns false at end.
+  bool Next() { return ++pos_ < end_; }
+
+  // Advances to the first position >= the current one whose value is
+  // >= target; returns false (cursor at end) when no such position exists.
+  // Probes must be nondecreasing across calls.
+  bool SkipTo(int32_t target) {
+    ++stats_.skip_calls;
+    while (!AtEnd()) {
+      constexpr uint32_t kStride = kEntryPointStride;
+      const uint32_t w_from = static_cast<uint32_t>(pos_ / kStride);
+      const uint32_t w_last = static_cast<uint32_t>((end_ - 1) / kStride);
+      // Windows x < full_end have their last value in-range AND stored in
+      // the next entry point: f(x) = WindowValueBase(x + 1) is the window
+      // max without decoding. The block's final window has no successor
+      // entry, so it is excluded even when the range covers it exactly.
+      const uint32_t full_end =
+          std::min(static_cast<uint32_t>(end_ / kStride),
+                   dec_->entry_count() - 1);
+      uint32_t lo = w_from;
+      uint32_t hi = std::max(w_from, full_end);
+      while (lo < hi) {
+        const uint32_t mid = lo + (hi - lo) / 2;
+        if (dec_->WindowValueBase(mid + 1) >= target) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      uint32_t cand = lo;
+      if (cand >= full_end) {
+        // Every full-info window tops out below target. If the range ends
+        // with a window whose max is unknown (partial coverage or the
+        // block's final window), that window is the last candidate;
+        // otherwise the range holds no value >= target.
+        if (full_end > w_last) {
+          pos_ = end_;
+          return false;
+        }
+        cand = w_last;
+      }
+      if (cand > w_from) {
+        stats_.windows_skipped +=
+            cand - w_from - (win_ == w_from ? 1 : 0);
+        pos_ = static_cast<uint64_t>(cand) * kStride;
+      }
+      EnsureWindow();
+      // Lower bound within the window's in-range tail [pos_, cap).
+      const uint64_t cap = std::min<uint64_t>(end_, win_base_ + win_len_);
+      uint32_t s = static_cast<uint32_t>(pos_ - win_base_);
+      uint32_t e = static_cast<uint32_t>(cap - win_base_);
+      while (s < e) {
+        const uint32_t m = s + (e - s) / 2;
+        if (win_vals_[m] >= target) {
+          e = m;
+        } else {
+          s = m + 1;
+        }
+      }
+      if (win_base_ + s < cap) {
+        pos_ = win_base_ + s;
+        return true;
+      }
+      // Only reachable when cand was the unknown-max trailing window and
+      // its in-range values all fall below target: exhaust it and let the
+      // loop observe AtEnd.
+      pos_ = cap;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr uint32_t kNoWindow = 0xFFFFFFFFu;
+
+  void EnsureWindow() {
+    const uint32_t w = static_cast<uint32_t>(pos_ / kEntryPointStride);
+    if (w == win_) return;
+    win_ = w;
+    win_base_ = static_cast<uint64_t>(w) * kEntryPointStride;
+    win_len_ = static_cast<uint32_t>(
+        std::min<uint64_t>(kEntryPointStride, dec_->n() - win_base_));
+    dec_->Decode(static_cast<uint32_t>(win_base_), win_len_, win_vals_);
+    ++stats_.windows_decoded;
+  }
+
+  const BlockDecoder* dec_ = nullptr;
+  uint64_t begin_ = 0;
+  uint64_t end_ = 0;
+  uint64_t pos_ = 0;
+
+  uint32_t win_ = kNoWindow;  // index of the decoded window, or kNoWindow
+  uint64_t win_base_ = 0;
+  uint32_t win_len_ = 0;
+  int32_t win_vals_[kEntryPointStride];
+
+  SkipStats stats_;
+};
+
+}  // namespace x100ir::compress
+
+#endif  // X100IR_COMPRESS_SKIP_CURSOR_H_

@@ -1,0 +1,70 @@
+// LOOP1 kernel dispatch (internal): the branch-free bit-unpacking kernels
+// behind BlockDecoder's decode paths.
+//
+// Two kernel families exist for the FOR-add shape (out[i] = base + code[i]):
+//
+//   - scalar: one unaligned 64-bit load + shift/mask per codeword,
+//     specialized per width via a template table (moved here from codec.cc);
+//     always available, and the ground truth the SIMD kernels must match
+//     bit-exactly (Codec.SimdUnpackBitExact sweeps the agreement).
+//   - SIMD shuffle-table kernels for the byte-friendly widths b in
+//     {4, 8, 16}: one 16-byte load expands to 8..32 decoded values through
+//     pshufb (SSSE3) or tbl/zip (NEON) byte shuffles — no per-codeword
+//     shifting at all. Selected at runtime (DESIGN.md §7.3):
+//     __builtin_cpu_supports("ssse3") on x86-64 (kernels carry
+//     __attribute__((target("ssse3"))) so no global -m flags are needed),
+//     unconditionally on AArch64, scalar anywhere else.
+//
+// The dictionary-gather shape (PDICT) stays scalar: there is no integer
+// gather below AVX2, and PDICT is off the posting-list hot path.
+//
+// SetSimdUnpackEnabled(false) forces the scalar table — the test/bench hook
+// for bit-exactness sweeps and the SIMD-vs-scalar speedup measurement
+// (bench_table1_systems). Not thread-safe; flip it only in single-threaded
+// setup code.
+#ifndef X100IR_COMPRESS_UNPACK_H_
+#define X100IR_COMPRESS_UNPACK_H_
+
+#include <cstdint>
+
+namespace x100ir::compress::internal {
+
+// Kernel contracts (identical to the scalar loops they replace):
+//   - codewords are packed LSB-first from src, n values, width implied by
+//     the kernel;
+//   - the caller guarantees readable slack past the last codeword
+//     (kBlockPadBytes for the scalar 8-byte loads; the SIMD kernels bound
+//     their 16-byte loads to full groups inside src and finish the tail
+//     with the scalar loop, so they never read further than scalar would);
+//   - exception slots decode to garbage links, patched later by LOOP2, so
+//     the add is two's-complement wraparound (unsigned / paddd semantics).
+using UnpackAddFn = void (*)(const uint8_t* src, uint32_t n, int32_t base,
+                             int32_t* out);
+using UnpackDictFn = void (*)(const uint8_t* src, uint32_t n,
+                              const int32_t* dict, int32_t* out);
+
+// Always-scalar kernels (test oracle). b in [1, kMaxBitWidth].
+UnpackAddFn ScalarUnpackAdd(int b);
+UnpackDictFn ScalarUnpackDict(int b);
+
+// Dispatched kernels: SIMD for b in {4, 8, 16} when available and enabled,
+// scalar otherwise.
+UnpackAddFn GetUnpackAdd(int b);
+UnpackDictFn GetUnpackDict(int b);
+
+enum class SimdLevel : uint8_t { kScalar = 0, kSse = 1, kNeon = 2 };
+const char* SimdLevelName(SimdLevel level);
+
+// What the dispatcher currently resolves to: the detected host level, or
+// kScalar while SIMD is disabled.
+SimdLevel ActiveSimdLevel();
+
+// True iff GetUnpackAdd(b) would return a SIMD kernel right now.
+bool SimdUnpackAvailable(int b);
+
+void SetSimdUnpackEnabled(bool enabled);
+bool SimdUnpackEnabled();
+
+}  // namespace x100ir::compress::internal
+
+#endif  // X100IR_COMPRESS_UNPACK_H_

@@ -17,6 +17,18 @@
 
 namespace x100ir::ir {
 
+// Scalar single-posting BM25 — the same formula, constant folding, and
+// operation order as MapBm25 below, for call sites that score one posting
+// at a time (MaxScore upper bounds and probe completion, the custom-engine
+// baselines). One definition keeps every path bit-identical: the
+// cross-path agreement tests and Table 1's "identical p@20" column depend
+// on no copy drifting.
+inline float Bm25One(float idf, float tf, float doclen, float k1, float b,
+                     float inv_avgdl) {
+  return idf * (k1 + 1.0f) * tf /
+         (tf + k1 * (1.0f - b) + k1 * b * inv_avgdl * doclen);
+}
+
 // out[i] = idf * (k1 + 1) * tf[i] / (tf[i] + k1*(1 - b) + k1*b*doclen[i]/avgdl)
 // for i in [0, n). Takes 1/avgdl so the caller hoists the division out of
 // the per-term loop.
@@ -58,6 +70,7 @@ namespace x100ir {
 // Surface the scoring kernels at engine scope: call sites live in other
 // subsystem namespaces (vec/ operators, benches) and the kernels take only
 // raw pointers, so argument-dependent lookup never finds them in ir::.
+using ir::Bm25One;
 using ir::MapBm25;
 using ir::MapBm25Sel;
 }  // namespace x100ir

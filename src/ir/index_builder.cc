@@ -1,5 +1,6 @@
 #include "ir/index_builder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -200,14 +201,23 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
   num_postings_ = corpus.num_postings();
   avg_doc_len_ = corpus.avg_doc_len();
   doc_lens_ = corpus.doc_lens();
+  min_doc_len_ = doc_lens_.empty()
+                     ? 0
+                     : *std::min_element(doc_lens_.begin(), doc_lens_.end());
 
   // Counting sort into (term, docid) order: df histogram, prefix sums,
   // then one sequential pass over the documents (docids ascend within each
-  // term's range because docs are visited in docid order).
+  // term's range because docs are visited in docid order). The same pass
+  // collects per-term max tf (the MaxScore bound ingredient), so it is
+  // available even when the encoded columns are reused from disk.
   const uint32_t vocab = corpus.vocab_size();
   terms_.assign(vocab, TermInfo());
   for (uint32_t d = 0; d < num_docs_; ++d) {
-    for (const DocTerm& p : corpus.doc(d)) ++terms_[p.term].doc_freq;
+    for (const DocTerm& p : corpus.doc(d)) {
+      TermInfo& info = terms_[p.term];
+      ++info.doc_freq;
+      info.max_tf = std::max(info.max_tf, p.tf);
+    }
   }
   uint64_t start = 0;
   for (uint32_t t = 0; t < vocab; ++t) {

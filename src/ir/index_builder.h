@@ -39,6 +39,8 @@ class InvertedIndex {
   }
   uint64_t num_postings() const { return num_postings_; }
   double avg_doc_len() const { return avg_doc_len_; }
+  // Shortest document in the collection (MaxScore upper bounds).
+  int32_t min_doc_len() const { return min_doc_len_; }
 
   const TermInfo& term(uint32_t t) const { return terms_[t]; }
   const std::vector<int32_t>& doc_lens() const { return doc_lens_; }
@@ -47,6 +49,15 @@ class InvertedIndex {
   // + term(t).doc_freq) for one posting list.
   const vec::VectorSource* docid_source() const { return docid_source_.get(); }
   const vec::VectorSource* tf_source() const { return tf_source_.get(); }
+
+  // Raw block decoders behind the columns, for skip-aware access
+  // (posting_cursor.h). Borrowed; valid as long as the index.
+  const compress::BlockDecoder* docid_decoder() const {
+    return docid_source_->decoder();
+  }
+  const compress::BlockDecoder* tf_decoder() const {
+    return tf_source_->decoder();
+  }
 
   // Convenience full decode of one term's postings (tests, oracles;
   // queries go through ScanOperator instead). Either output may be null.
@@ -64,6 +75,7 @@ class InvertedIndex {
   uint32_t num_docs_ = 0;
   uint64_t num_postings_ = 0;
   double avg_doc_len_ = 0.0;
+  int32_t min_doc_len_ = 0;
   std::vector<TermInfo> terms_;
   std::vector<int32_t> doc_lens_;
   std::unique_ptr<vec::BlockVectorSource> docid_source_;

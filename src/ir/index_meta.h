@@ -66,6 +66,11 @@ struct TermInfo {
   uint64_t posting_start = 0;
   uint32_t doc_freq = 0;
   float idf = 0.0f;
+  // Largest tf in the term's postings. BM25 is increasing in tf and
+  // decreasing in doclen, so score(tf, dl) <= score(max_tf, min_doclen):
+  // the per-term score upper bound MaxScore pruning needs, computable at
+  // query time for any (k1, b) without touching the postings.
+  int32_t max_tf = 0;
 };
 
 // What Database::Open reports about index construction (bench_util.h

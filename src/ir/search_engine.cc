@@ -15,17 +15,22 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "ir/bm25.h"
+#include "ir/posting_cursor.h"
 #include "ir/topk.h"
 #include "vec/mem_source.h"
 #include "vec/merge_join.h"
+#include "vec/primitives.h"
 #include "vec/scan.h"
+#include "vec/streaming_merge.h"
 
 namespace x100ir::ir {
 namespace {
@@ -87,6 +92,7 @@ class Bm25ScoreOperator : public vec::Operator {
     }
     MapBm25Sel(b->count, b->sel, b->sel_count, score_vec_.Data<float>(), tfs,
                dl, idf_, params_.k1, params_.b, inv_avgdl_);
+    ++ctx_->stats.primitive_calls;
     // Zero-copy docid passthrough: the child's vector stays valid until
     // its next Next(), which happens only after ours.
     batch_.columns = {b->columns[0], &score_vec_};
@@ -278,6 +284,17 @@ Status SearchEngine::Search(const Query& query, RunType type,
   WallTimer timer;
   *result = SearchResult();
 
+  // Request validation happens here, up front, with specific messages —
+  // not by whichever operator deep in the plan would have tripped first.
+  if (opts.k == 0) {
+    return InvalidArgument("k must be > 0 (no run returns zero results)");
+  }
+  if (type != RunType::kBoolAnd && type != RunType::kBoolOr &&
+      type != RunType::kBm25) {
+    return Unimplemented(std::string(RunTypeName(type)) +
+                         " lands with the storage/ layer "
+                         "(two-pass/materialized/quantized runs)");
+  }
   std::vector<uint32_t> terms = query.terms;
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
@@ -286,6 +303,20 @@ Status SearchEngine::Search(const Query& query, RunType type,
     if (t >= index_->vocab_size()) {
       return InvalidArgument(StrFormat("query term %u outside vocabulary", t));
     }
+  }
+  // In-vocabulary terms with no postings ("unknown" words) match nothing:
+  // a conjunction containing one is empty, and a disjunction/ranked run
+  // simply drops them. Either way the result is a clean empty set, never a
+  // plan built over zero-length columns.
+  const size_t with_postings_end = std::stable_partition(
+      terms.begin(), terms.end(), [this](uint32_t t) {
+        return index_->term(t).doc_freq > 0;
+      }) - terms.begin();
+  const bool any_unknown = with_postings_end != terms.size();
+  terms.resize(with_postings_end);
+  if (terms.empty() || (type == RunType::kBoolAnd && any_unknown)) {
+    result->seconds = timer.ElapsedSeconds();
+    return OkStatus();
   }
 
   Status s;
@@ -297,12 +328,11 @@ Status SearchEngine::Search(const Query& query, RunType type,
       s = SearchBool(terms, /*conjunctive=*/false, opts, result);
       break;
     case RunType::kBm25:
-      s = SearchBm25(terms, opts, result);
+      s = opts.maxscore_bm25 ? SearchBm25MaxScore(terms, opts, result)
+                             : SearchBm25(terms, opts, result);
       break;
     default:
-      return Unimplemented(std::string(RunTypeName(type)) +
-                           " lands with the storage/ layer "
-                           "(two-pass/materialized/quantized runs)");
+      return Internal("unreachable run type");
   }
   result->seconds = timer.ElapsedSeconds();
   return s;
@@ -313,18 +343,39 @@ Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
                                 SearchResult* result) {
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
-  std::vector<vec::OperatorPtr> children;
-  children.reserve(terms.size());
-  for (uint32_t t : terms) {
-    children.push_back(MakeTermScan(*index_, &ctx, t, /*with_tf=*/false));
-  }
   vec::OperatorPtr root;
-  if (conjunctive) {
-    root = std::make_unique<vec::MergeJoinOperator>(
-        &ctx, std::move(children), vec::MergeMode::kIntersect);
+  if (conjunctive && opts.streaming_and) {
+    // Streaming skip join: cursors rarest-first so the shortest list
+    // drives and the long lists are only probed (DESIGN.md §7.2).
+    std::vector<uint32_t> by_df = terms;
+    std::sort(by_df.begin(), by_df.end(), [this](uint32_t a, uint32_t b) {
+      if (index_->term(a).doc_freq != index_->term(b).doc_freq) {
+        return index_->term(a).doc_freq < index_->term(b).doc_freq;
+      }
+      return a < b;
+    });
+    std::vector<vec::SkipCursorPtr> cursors;
+    cursors.reserve(by_df.size());
+    for (uint32_t t : by_df) {
+      auto cursor = std::make_unique<DocidSkipCursor>();
+      X100IR_RETURN_IF_ERROR(cursor->Init(index_, t));
+      cursors.push_back(std::move(cursor));
+    }
+    root = std::make_unique<vec::StreamingMergeJoinOperator>(
+        &ctx, std::move(cursors));
   } else {
-    root = std::make_unique<MergeUnionOperator>(&ctx, std::move(children),
-                                                /*sum_scores=*/false);
+    std::vector<vec::OperatorPtr> children;
+    children.reserve(terms.size());
+    for (uint32_t t : terms) {
+      children.push_back(MakeTermScan(*index_, &ctx, t, /*with_tf=*/false));
+    }
+    if (conjunctive) {
+      root = std::make_unique<vec::MergeJoinOperator>(
+          &ctx, std::move(children), vec::MergeMode::kIntersect);
+    } else {
+      root = std::make_unique<MergeUnionOperator>(&ctx, std::move(children),
+                                                  /*sum_scores=*/false);
+    }
   }
   X100IR_RETURN_IF_ERROR(root->Open());
   vec::Batch* b = nullptr;
@@ -341,13 +392,13 @@ Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
     result->docids.insert(result->docids.end(), docids, docids + take);
   }
   root->Close();
+  result->stats = ctx.stats;
   return OkStatus();
 }
 
 Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
                                 const SearchOptions& opts,
                                 SearchResult* result) {
-  if (opts.k == 0) return InvalidArgument("ranked run needs k > 0");
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
   const float inv_avgdl =
@@ -381,6 +432,222 @@ Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
   }
   result->num_matches = topk_raw->rows_consumed();
   root->Close();
+  result->stats = ctx.stats;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming BM25 with MaxScore pruning (DESIGN.md §7.4).
+//
+// Per term: a score upper bound ub = idf * (k1+1) * max_tf /
+// (max_tf + c0 + c1 * min_doclen) — BM25 is monotone in tf and doclen, so
+// no posting of the term can contribute more. Terms sorted by ub ascending
+// give prefix sums P[i]; once the top-k threshold θ exceeds P[i], the i+1
+// weakest terms are *non-essential*: a document appearing only in them
+// tops out below θ and can never enter the heap. Their streams stop being
+// merged (whole vectors pruned) and they are only probed — SkipTo on the
+// compressed docid windows — to complete the scores of candidates that
+// survive a branch-free threshold select.
+//
+// The evaluation stays vector-at-a-time: each essential term decodes and
+// scores vector_size postings per refill with the fused kernel, the merge
+// emits candidate vectors of (docid, partial score), and one SelectColVal
+// per vector rejects candidates whose partial + Σ(non-essential ubs) falls
+// below θ. Only survivors touch the probe cursors and the branchy heap.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-term state for the MaxScore evaluation.
+struct MsTerm {
+  uint32_t term = 0;
+  float idf = 0.0f;
+  float ub = 0.0f;
+  uint32_t df = 0;
+
+  // Essential phase: sequential stream + vectorized scoring buffers.
+  DocidSkipCursor stream;
+  TfWindowReader tf_reader;
+  uint64_t refilled = 0;  // postings pulled off the stream so far
+  std::vector<int32_t> docids, tfs, doclens;
+  std::vector<float> scores;
+  uint32_t voff = 0, vlen = 0;
+
+  // Non-essential phase: forward probe cursor from the first unconsumed
+  // posting (the stream read ahead by up to one vector; that tail is
+  // re-covered by the probe cursor, never lost).
+  bool demoted = false;
+  DocidSkipCursor probe;
+};
+
+}  // namespace
+
+Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
+                                        const SearchOptions& opts,
+                                        SearchResult* result) {
+  vec::ExecContext ctx;
+  ctx.vector_size = opts.vector_size;
+  X100IR_RETURN_IF_ERROR(ctx.Validate());
+  const uint32_t vsize = ctx.vector_size;
+  const float k1 = opts.bm25.k1;
+  const float bb = opts.bm25.b;
+  const float inv_avgdl =
+      index_->avg_doc_len() > 0.0
+          ? static_cast<float>(1.0 / index_->avg_doc_len())
+          : 0.0f;
+  const int32_t* doclens = index_->doc_lens().data();
+  const float min_dl = static_cast<float>(index_->min_doc_len());
+
+  const size_t m = terms.size();
+  std::vector<MsTerm> states(m);
+  for (size_t i = 0; i < m; ++i) {
+    MsTerm& ts = states[i];
+    const TermInfo& info = index_->term(terms[i]);
+    ts.term = terms[i];
+    ts.idf = info.idf;
+    ts.df = info.doc_freq;
+    ts.ub = Bm25One(ts.idf, static_cast<float>(info.max_tf), min_dl, k1, bb,
+                    inv_avgdl);
+    X100IR_RETURN_IF_ERROR(ts.stream.Init(index_, ts.term));
+    ts.tf_reader.Init(index_->tf_source());
+    ts.docids.resize(vsize);
+    ts.tfs.resize(vsize);
+    ts.doclens.resize(vsize);
+    ts.scores.resize(vsize);
+  }
+
+  // Weakest-first order and upper-bound prefix sums: order[0..ness) is the
+  // demoted (non-essential) prefix.
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&states](uint32_t a, uint32_t b) {
+    if (states[a].ub != states[b].ub) return states[a].ub < states[b].ub;
+    return states[a].term < states[b].term;
+  });
+  std::vector<float> prefix(m);
+  float acc = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    acc += states[order[i]].ub;
+    prefix[i] = acc;
+  }
+
+  const auto refill = [&](MsTerm& ts) {
+    ts.voff = 0;
+    ts.vlen = 0;
+    while (ts.vlen < vsize && !ts.stream.AtEnd()) {
+      ts.docids[ts.vlen] = ts.stream.value();
+      ts.tfs[ts.vlen] = ts.tf_reader.TfAt(ts.stream.position());
+      ++ts.vlen;
+      ts.stream.Next();
+    }
+    ts.refilled += ts.vlen;
+    if (ts.vlen > 0) {
+      for (uint32_t i = 0; i < ts.vlen; ++i) {
+        ts.doclens[i] = doclens[ts.docids[i]];
+      }
+      MapBm25(ts.vlen, ts.scores.data(), ts.tfs.data(), ts.doclens.data(),
+              ts.idf, k1, bb, inv_avgdl);
+      ++ctx.stats.primitive_calls;
+    }
+  };
+  for (MsTerm& ts : states) refill(ts);
+
+  TopK topk(opts.k);
+  std::vector<int32_t> cand_d(vsize);
+  std::vector<float> cand_s(vsize);
+  std::vector<vec::sel_t> cand_sel(vsize);
+  uint64_t candidates = 0;
+  size_t ness = 0;  // order[0..ness) are demoted
+
+  for (;;) {
+    const float theta = topk.threshold();
+    // Re-partition between vectors: θ only grows, so demotion is one-way.
+    while (ness < m && prefix[ness] < theta) {
+      MsTerm& ts = states[order[ness]];
+      ts.demoted = true;
+      const uint64_t consumed = ts.refilled - (ts.vlen - ts.voff);
+      X100IR_RETURN_IF_ERROR(ts.probe.Init(index_, ts.term, consumed));
+      const uint64_t remaining = ts.df - consumed;
+      ctx.stats.vectors_pruned += (remaining + vsize - 1) / vsize;
+      ts.voff = ts.vlen = 0;  // drop the read-ahead tail; probes re-cover it
+      ++ness;
+    }
+    if (ness == m) break;  // even all terms together cannot reach θ
+    const float ness_bound = ness > 0 ? prefix[ness - 1] : 0.0f;
+
+    // Merge one vector of candidates from the essential streams.
+    uint32_t fill = 0;
+    while (fill < vsize) {
+      int32_t d = 0;
+      bool any = false;
+      for (const MsTerm& ts : states) {
+        if (ts.demoted || ts.voff >= ts.vlen) continue;
+        const int32_t v = ts.docids[ts.voff];
+        if (!any || v < d) {
+          d = v;
+          any = true;
+        }
+      }
+      if (!any) break;
+      float partial = 0.0f;
+      for (MsTerm& ts : states) {
+        if (ts.demoted || ts.voff >= ts.vlen || ts.docids[ts.voff] != d) {
+          continue;
+        }
+        partial += ts.scores[ts.voff];
+        if (++ts.voff == ts.vlen) refill(ts);
+      }
+      cand_d[fill] = d;
+      cand_s[fill] = partial;
+      ++fill;
+    }
+    if (fill == 0) break;  // essential streams exhausted
+    candidates += fill;
+
+    // Branch-free threshold select: partial + ness_bound >= θ, i.e.
+    // partial >= θ - ness_bound (−inf until the heap fills: keep all).
+    const float cut = theta - ness_bound;
+    const uint32_t n_cand = vec::SelectColVal<vec::GeCmp, float>(
+        fill, nullptr, 0, cand_sel.data(), cand_s.data(), cut);
+    ++ctx.stats.primitive_calls;
+
+    for (uint32_t j = 0; j < n_cand; ++j) {
+      const uint32_t i = cand_sel[j];
+      const int32_t d = cand_d[i];
+      float s = cand_s[i];
+      // Complete the score from the demoted lists, strongest first, with
+      // the live threshold: each probe either adds the term's real
+      // contribution or retires its ub from the remaining headroom.
+      float remaining = ness_bound;
+      bool viable = true;
+      for (size_t p = ness; p-- > 0;) {
+        const float live = topk.threshold();
+        if (s + remaining < live) {
+          viable = false;
+          break;
+        }
+        MsTerm& nt = states[order[p]];
+        remaining -= nt.ub;
+        if (nt.probe.SkipTo(d) && nt.probe.value() == d) {
+          const float tf = static_cast<float>(
+              nt.tf_reader.TfAt(nt.probe.position()));
+          s += Bm25One(nt.idf, tf, static_cast<float>(doclens[d]), k1, bb,
+                       inv_avgdl);
+          ++ctx.stats.docs_probed;
+        }
+      }
+      if (viable) topk.Push(d, s);
+    }
+  }
+
+  topk.FinishSorted(&result->docids, &result->scores);
+  result->num_matches = candidates;
+  for (MsTerm& ts : states) {
+    ts.stream.FoldStats(&ctx.stats);
+    if (ts.demoted) ts.probe.FoldStats(&ctx.stats);
+    ctx.stats.tf_windows_decoded += ts.tf_reader.windows_decoded();
+  }
+  result->stats = ctx.stats;
   return OkStatus();
 }
 

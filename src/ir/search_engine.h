@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "ir/index_builder.h"
 #include "ir/query_gen.h"
+#include "vec/scan.h"
 
 namespace x100ir::ir {
 
@@ -74,8 +75,21 @@ struct SearchOptions {
   // vec::ExecContext::kMaxVectorSize.
   uint32_t vector_size = 1024;
   // Results to return (ranked runs) / result-set cap (boolean runs).
+  // k == 0 is rejected (Search validates the whole request up front).
   uint32_t k = 20;
   Bm25Params bm25;
+
+  // Execution-path selection (DESIGN.md §7). Defaults are the streaming,
+  // skip-aware hot paths; the PR 3 materializing plans stay reachable for
+  // A/B benching (bench_table1_systems) and oracle tests.
+  //
+  // BoolAND: streaming galloping merge-join driving SkipTo over the
+  // compressed docid windows, vs materialize-then-intersect.
+  bool streaming_and = true;
+  // BM25: threshold-propagated MaxScore evaluation (per-term upper bounds,
+  // essential/non-essential partition, probe completion), vs score-all
+  // union.
+  bool maxscore_bm25 = true;
 };
 
 struct SearchResult {
@@ -84,11 +98,20 @@ struct SearchResult {
   // scores empty.
   std::vector<int32_t> docids;
   std::vector<float> scores;
-  // Full match count before the k cap (ranked: candidate documents scored).
+  // Full match count before the k cap. For ranked runs: candidate
+  // documents considered. Under MaxScore pruning this counts documents
+  // reached through the essential lists — documents provably unable to
+  // enter the top k are never candidates, so the count can be lower than
+  // the score-all union's.
   uint64_t num_matches = 0;
   // Storage-era run telemetry (two-pass runs); always false today.
   bool used_second_pass = false;
   double seconds = 0.0;
+
+  // Per-query execution telemetry (windows decoded/skipped, primitive
+  // calls, vectors pruned, probes) — what the skipping tests and the
+  // bench_table1_systems gates assert on.
+  vec::ExecStats stats;
 
   double TotalSeconds() const { return seconds; }
 };
@@ -111,6 +134,8 @@ class SearchEngine {
                     const SearchOptions& opts, SearchResult* result);
   Status SearchBm25(const std::vector<uint32_t>& terms,
                     const SearchOptions& opts, SearchResult* result);
+  Status SearchBm25MaxScore(const std::vector<uint32_t>& terms,
+                            const SearchOptions& opts, SearchResult* result);
 
   const InvertedIndex* index_ = nullptr;
 };

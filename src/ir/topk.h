@@ -169,6 +169,7 @@ class TopKOperator : public vec::Operator {
       const uint32_t n_cand = vec::SelectColVal<vec::GeCmp, float>(
           b->count, b->sel, b->sel_count, cand_sel_.data(), scores,
           topk_.threshold());
+      ++ctx_->stats.primitive_calls;
       for (uint32_t j = 0; j < n_cand; ++j) {
         const vec::sel_t i = cand_sel_[j];
         topk_.Push(docids[i], scores[i]);

@@ -104,6 +104,11 @@ class BlockVectorSource : public VectorSource {
                     static_cast<int32_t*>(dst));
   }
 
+  // For skip-aware consumers (compress::SortedRangeCursor) that need the
+  // entry-point metadata, not just flat reads. Borrowed; valid as long as
+  // the source.
+  const compress::BlockDecoder* decoder() const { return &decoder_; }
+
  private:
   BlockVectorSource() = default;
 

@@ -85,6 +85,7 @@ Status MergeJoinOperator::Open() {
     const uint32_t k = MergeIntersectGalloping(
         keys.data(), static_cast<uint32_t>(keys.size()), ckeys.data(),
         static_cast<uint32_t>(ckeys.size()), out_a.data(), out_b.data());
+    ++ctx_->stats.primitive_calls;
     std::vector<int32_t> new_keys(k);
     for (uint32_t t = 0; t < k; ++t) new_keys[t] = keys[out_a[t]];
     for (size_t p = 0; p < c; ++p) {

@@ -16,6 +16,37 @@
 
 namespace x100ir::vec {
 
+// Per-query execution telemetry, accumulated by the operators of one plan
+// into the shared ExecContext and surfaced through SearchResult::stats.
+// Counters are only incremented by code that actually did the work, so
+// tests and the bench gates can assert that skipping *happened* (e.g.
+// windows_skipped > 0 on a selective conjunctive query) instead of trusting
+// wall-clock.
+struct ExecStats {
+  // Compressed 128-value docid windows range-decoded by skip cursors.
+  uint64_t windows_decoded = 0;
+  // Windows a SkipTo jumped over without decoding (block skipping).
+  uint64_t windows_skipped = 0;
+  // tf windows decoded for scoring/probes (separate column, separate cost).
+  uint64_t tf_windows_decoded = 0;
+  // Vectorized kernel invocations (map/select/fused-score primitives).
+  uint64_t primitive_calls = 0;
+  // Whole term vectors never decoded/scored because the term fell below
+  // the top-k threshold (MaxScore pruning).
+  uint64_t vectors_pruned = 0;
+  // Individual non-essential-list lookups during MaxScore completion.
+  uint64_t docs_probed = 0;
+
+  void Add(const ExecStats& o) {
+    windows_decoded += o.windows_decoded;
+    windows_skipped += o.windows_skipped;
+    tf_windows_decoded += o.tf_windows_decoded;
+    primitive_calls += o.primitive_calls;
+    vectors_pruned += o.vectors_pruned;
+    docs_probed += o.docs_probed;
+  }
+};
+
 // Per-query execution knobs, shared by every operator in a plan.
 struct ExecContext {
   // Largest vector any operator will allocate. Past ~1M values a single
@@ -25,6 +56,10 @@ struct ExecContext {
   static constexpr uint32_t kMaxVectorSize = 1u << 20;
 
   uint32_t vector_size = 1024;
+
+  // Filled in by the plan's operators as they run; read (and reset) by the
+  // engine around each query.
+  ExecStats stats;
 
   // Called by every operator at Open: vector_size arrives from user-facing
   // APIs (SearchOptions), so the plan rejects 0 and clamps oversizes here

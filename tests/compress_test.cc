@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "compress/codec.h"
 #include "compress/pdict.h"
+#include "compress/skip_cursor.h"
+#include "compress/unpack.h"
 #include "compress/pfor.h"
 #include "compress/pfor_delta.h"
 
@@ -769,6 +771,287 @@ TEST(Codec, EntryPointStrideIsStable) {
   // The on-disk format and the skip granularity depend on this constant;
   // changing it is a format break.
   EXPECT_EQ(kEntryPointStride, 128u);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD LOOP1 unpack (PR 4): bit-exactness against the scalar kernels.
+// ---------------------------------------------------------------------------
+
+// Restores the SIMD toggle even when an assertion bails out of a test.
+class ScopedSimdToggle {
+ public:
+  ScopedSimdToggle() : prev_(internal::SimdUnpackEnabled()) {}
+  ~ScopedSimdToggle() { internal::SetSimdUnpackEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(Codec, SimdUnpackBitExactSweep) {
+  // On hosts without SIMD support both decodes run the scalar table and the
+  // sweep degenerates to determinism; on SSE/NEON hosts it pins the shuffle
+  // kernels (including their scalar tails at awkward lengths) to the scalar
+  // ground truth across schemes and exception rates.
+  ScopedSimdToggle guard;
+  for (int b : {4, 8, 16}) {
+    for (bool delta : {false, true}) {
+      for (uint32_t n : {1u, 127u, 128u, 129u, 1023u, 4096u}) {
+        for (double rate : {0.0, 0.05, 0.5}) {
+          std::vector<int32_t> values;
+          if (delta) {
+            // Exceptions in the delta domain: occasional giant gaps.
+            Rng rng(7'000 + b + n + static_cast<uint64_t>(rate * 100));
+            values.resize(n);
+            int32_t cur = 0;
+            for (auto& x : values) {
+              // Exception gaps stay small enough that 4096 of them cannot
+              // overflow the running int32 value.
+              cur += rng.NextBernoulli(rate)
+                         ? (1 << b) + 1 +
+                               static_cast<int32_t>(rng.NextBounded(1 << 10))
+                         : 1 + static_cast<int32_t>(
+                                   rng.NextBounded((1u << b) - 1));
+              x = cur;
+            }
+          } else {
+            values = MakeData(n, b, rate, 9'000 + b + n);
+          }
+          EncodeOptions opts;
+          opts.bit_width = b;
+          std::vector<uint8_t> block;
+          const auto encode = delta ? &PforDeltaEncode : &PforEncode;
+          ASSERT_TRUE(encode(values.data(), n, opts, &block, nullptr).ok());
+          BlockDecoder dec;
+          ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+
+          std::vector<int32_t> simd_out(n), scalar_out(n);
+          internal::SetSimdUnpackEnabled(true);
+          dec.DecodeAll(simd_out.data());
+          internal::SetSimdUnpackEnabled(false);
+          dec.DecodeAll(scalar_out.data());
+          ASSERT_EQ(simd_out, scalar_out)
+              << "b=" << b << " delta=" << delta << " n=" << n
+              << " rate=" << rate;
+          ASSERT_EQ(simd_out, values);
+
+          // Range decodes hit the per-window path with partial windows.
+          Rng rng(31 + n);
+          for (int rep = 0; rep < 8; ++rep) {
+            const uint32_t pos =
+                static_cast<uint32_t>(rng.NextBounded(n));
+            const uint32_t len = 1 + static_cast<uint32_t>(
+                                         rng.NextBounded(n - pos));
+            std::vector<int32_t> a(len), s(len);
+            internal::SetSimdUnpackEnabled(true);
+            dec.Decode(pos, len, a.data());
+            internal::SetSimdUnpackEnabled(false);
+            dec.Decode(pos, len, s.data());
+            ASSERT_EQ(a, s) << "b=" << b << " pos=" << pos << " len=" << len;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Codec, SimdDispatchReportsConsistently) {
+  ScopedSimdToggle guard;
+  internal::SetSimdUnpackEnabled(true);
+  const bool host_has_simd =
+      internal::ActiveSimdLevel() != internal::SimdLevel::kScalar;
+  for (int b : {4, 8, 16}) {
+    EXPECT_EQ(internal::SimdUnpackAvailable(b), host_has_simd) << b;
+    EXPECT_EQ(internal::GetUnpackAdd(b) != internal::ScalarUnpackAdd(b),
+              host_has_simd)
+        << b;
+  }
+  // Non-shuffle widths always resolve scalar.
+  for (int b : {1, 7, 15, 30}) {
+    EXPECT_FALSE(internal::SimdUnpackAvailable(b)) << b;
+    EXPECT_EQ(internal::GetUnpackAdd(b), internal::ScalarUnpackAdd(b)) << b;
+  }
+  internal::SetSimdUnpackEnabled(false);
+  EXPECT_EQ(internal::ActiveSimdLevel(), internal::SimdLevel::kScalar);
+  EXPECT_FALSE(internal::SimdUnpackAvailable(8));
+  EXPECT_EQ(internal::GetUnpackAdd(8), internal::ScalarUnpackAdd(8));
+}
+
+// ---------------------------------------------------------------------------
+// SortedRangeCursor / SkipTo (PR 4): block-skipping scans.
+// ---------------------------------------------------------------------------
+
+// Builds a TD.docid-shaped column: `runs` concatenated ascending runs whose
+// boundaries reset to small values (the per-term resets force_base turns
+// into exceptions).
+std::vector<int32_t> MakeRunColumn(const std::vector<uint32_t>& run_lens,
+                                   uint64_t seed, uint32_t max_gap = 9) {
+  Rng rng(seed);
+  std::vector<int32_t> v;
+  for (uint32_t len : run_lens) {
+    int32_t cur = static_cast<int32_t>(rng.NextBounded(50));
+    for (uint32_t i = 0; i < len; ++i) {
+      cur += 1 + static_cast<int32_t>(rng.NextBounded(max_gap));
+      v.push_back(cur);
+    }
+  }
+  return v;
+}
+
+// Drives one cursor over [begin, end) with an ascending probe list and
+// checks every landing against the linear-scan oracle on the full decode.
+void CheckCursorAgainstOracle(const BlockDecoder& dec,
+                              const std::vector<int32_t>& full,
+                              uint64_t begin, uint64_t end,
+                              const std::vector<int32_t>& probes) {
+  SortedRangeCursor cur;
+  ASSERT_TRUE(cur.Init(&dec, begin, end).ok());
+  uint64_t opos = begin;
+  for (int32_t t : probes) {
+    while (opos < end && full[opos] < t) ++opos;
+    const bool found = cur.SkipTo(t);
+    ASSERT_EQ(found, opos < end) << "probe " << t;
+    ASSERT_EQ(cur.AtEnd(), opos >= end);
+    if (found) {
+      ASSERT_EQ(cur.position(), opos) << "probe " << t;
+      ASSERT_EQ(cur.value(), full[opos]) << "probe " << t;
+    }
+  }
+}
+
+TEST(SkipCursor, AgreesWithOracleAcrossHostileBoundaries) {
+  // Shapes: run splits landing on/next to window boundaries, totals with
+  // n % 128 in {0, 1, 127}, widths from compulsory-exception-riddled b=1
+  // to exception-free b=30.
+  const std::vector<std::vector<uint32_t>> shapes = {
+      {256, 128, 384},        // n = 768 (0 mod 128), boundaries on windows
+      {129, 127, 1},          // n = 257 (1 mod 128)
+      {100, 27, 300, 84},     // n = 511 (127 mod 128)
+      {1, 1, 126},            // tiny runs inside one window
+      {640},                  // single run spanning 5 windows
+  };
+  for (const auto& shape : shapes) {
+    const auto values = MakeRunColumn(shape, 42 + shape[0]);
+    const uint32_t n = static_cast<uint32_t>(values.size());
+    for (int b : {1, 7, 8, 16, 30}) {
+      EncodeOptions opts;
+      opts.bit_width = b;
+      opts.force_base = true;
+      std::vector<uint8_t> block;
+      ASSERT_TRUE(
+          PforDeltaEncode(values.data(), n, opts, &block, nullptr).ok());
+      BlockDecoder dec;
+      ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+      // Sanity: the decoder still round-trips this shape.
+      std::vector<int32_t> out(n);
+      dec.DecodeAll(out.data());
+      ASSERT_EQ(out, values) << "b=" << b;
+
+      uint64_t begin = 0;
+      for (uint32_t len : shape) {
+        const uint64_t end = begin + len;
+        // Probe script: every run value, its neighbors, and window-edge
+        // positions — ascending, as the merge-join contract requires.
+        std::vector<int32_t> probes;
+        for (uint64_t p = begin; p < end; ++p) {
+          probes.push_back(values[p] - 1);
+          probes.push_back(values[p]);
+          probes.push_back(values[p] + 1);
+        }
+        std::sort(probes.begin(), probes.end());
+        CheckCursorAgainstOracle(dec, values, begin, end, probes);
+        // A second pass probing only past-the-end.
+        CheckCursorAgainstOracle(
+            dec, values, begin, end,
+            {values[end - 1], values[end - 1] + 1});
+        begin = end;
+      }
+    }
+  }
+}
+
+TEST(SkipCursor, SequentialNextMatchesFullDecode) {
+  const auto values = MakeRunColumn({500, 300, 200}, 99);
+  EncodeOptions opts;
+  opts.bit_width = 8;
+  opts.force_base = true;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforDeltaEncode(values.data(),
+                              static_cast<uint32_t>(values.size()), opts,
+                              &block, nullptr)
+                  .ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  SortedRangeCursor cur;
+  ASSERT_TRUE(cur.Init(&dec, 500, 800).ok());
+  for (uint64_t p = 500; p < 800; ++p) {
+    ASSERT_FALSE(cur.AtEnd());
+    ASSERT_EQ(cur.position(), p);
+    ASSERT_EQ(cur.value(), values[p]);
+    cur.Next();
+  }
+  ASSERT_TRUE(cur.AtEnd());
+  // Sequential reads decode each window exactly once.
+  EXPECT_EQ(cur.stats().windows_decoded, (800 + 127) / 128 - 500 / 128);
+}
+
+TEST(SkipCursor, SkipsWindowsWithoutDecodingThem) {
+  // A long sorted list probed at a handful of far-apart targets: the
+  // cursor must decode only the windows it lands in, skipping the rest.
+  const auto values = MakeSorted(128 * 100, 7);  // 100 windows
+  EncodeOptions opts;
+  opts.force_base = true;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforDeltaEncode(values.data(),
+                              static_cast<uint32_t>(values.size()), opts,
+                              &block, nullptr)
+                  .ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  SortedRangeCursor cur;
+  ASSERT_TRUE(cur.Init(&dec, 0, values.size()).ok());
+  for (uint64_t p : {4000ull, 8000ull, 12700ull}) {
+    ASSERT_TRUE(cur.SkipTo(values[p]));
+    EXPECT_EQ(cur.position(), p);
+  }
+  EXPECT_EQ(cur.stats().windows_decoded, 3u);
+  EXPECT_GT(cur.stats().windows_skipped, 90u);
+  EXPECT_EQ(cur.stats().skip_calls, 3u);
+}
+
+TEST(SkipCursor, InitRejectsBadRangesAndSchemes) {
+  const auto values = MakeSorted(1000, 3);
+  std::vector<uint8_t> delta_block, pfor_block;
+  EncodeOptions opts;
+  opts.force_base = true;
+  ASSERT_TRUE(PforDeltaEncode(values.data(), 1000, opts, &delta_block,
+                              nullptr)
+                  .ok());
+  ASSERT_TRUE(PforEncode(values.data(), 1000, {}, &pfor_block, nullptr).ok());
+  BlockDecoder delta_dec, pfor_dec;
+  ASSERT_TRUE(delta_dec.Init(delta_block.data(), delta_block.size()).ok());
+  ASSERT_TRUE(pfor_dec.Init(pfor_block.data(), pfor_block.size()).ok());
+
+  SortedRangeCursor cur;
+  EXPECT_FALSE(cur.Init(nullptr, 0, 0).ok());
+  // PFOR blocks carry no window value bases: skipping would be wrong.
+  EXPECT_FALSE(cur.Init(&pfor_dec, 0, 1000).ok());
+  EXPECT_FALSE(cur.Init(&delta_dec, 500, 400).ok());   // begin > end
+  EXPECT_FALSE(cur.Init(&delta_dec, 0, 1001).ok());    // past the block
+  ASSERT_TRUE(cur.Init(&delta_dec, 700, 700).ok());    // empty range is fine
+  EXPECT_TRUE(cur.AtEnd());
+  EXPECT_FALSE(cur.SkipTo(0));
+
+  // Probing below the current value never moves the cursor.
+  ASSERT_TRUE(cur.Init(&delta_dec, 200, 900).ok());
+  ASSERT_TRUE(cur.SkipTo(values[450]));
+  const uint64_t pos = cur.position();
+  ASSERT_TRUE(cur.SkipTo(values[450] - 3));
+  EXPECT_EQ(cur.position(), pos);
+  ASSERT_TRUE(cur.SkipTo(values[450]));
+  EXPECT_EQ(cur.position(), pos);
+  // Probing past everything exhausts the cursor cleanly.
+  EXPECT_FALSE(cur.SkipTo(values[899] + 1));
+  EXPECT_TRUE(cur.AtEnd());
 }
 
 }  // namespace

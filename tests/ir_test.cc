@@ -17,6 +17,7 @@
 
 #include "core/database.h"
 #include "ir/corpus.h"
+#include "ir/custom_engine.h"
 #include "ir/index_builder.h"
 #include "ir/metrics.h"
 #include "ir/query_gen.h"
@@ -106,6 +107,36 @@ std::vector<int32_t> OracleBool(const Corpus& corpus,
     if (match) out.push_back(static_cast<int32_t>(d));
   }
   return out;
+}
+
+// Compares two ranked results that were produced by different execution
+// paths of the same retrieval model. The paths sum per-term float
+// contributions in different orders (score-all union: merge order;
+// MaxScore: essential streams then probes strongest-first), so genuinely
+// tied documents can differ in the last ulp and legally swap ranks or
+// substitute across the k boundary. Scores must agree to `tol` rank by
+// rank everywhere; docids must match exactly at every rank that is not
+// score-tied with a neighbor.
+void ExpectRankingsEquivalent(const std::vector<int32_t>& docids_a,
+                              const std::vector<float>& scores_a,
+                              const std::vector<int32_t>& docids_b,
+                              const std::vector<float>& scores_b,
+                              float tol) {
+  ASSERT_EQ(docids_a.size(), docids_b.size());
+  ASSERT_EQ(scores_a.size(), scores_b.size());
+  const size_t n = docids_a.size();
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(scores_a[i], scores_b[i], tol) << "rank " << i;
+    const bool tied_prev =
+        i > 0 && std::abs(scores_a[i] - scores_a[i - 1]) <= tol;
+    const bool tied_next =
+        i + 1 < n && std::abs(scores_a[i] - scores_a[i + 1]) <= tol;
+    // The last kept rank can also tie against the first *dropped* score,
+    // which is not observable here, so it is exempt from exact equality.
+    if (!tied_prev && !tied_next && i + 1 < n) {
+      EXPECT_EQ(docids_a[i], docids_b[i]) << "rank " << i;
+    }
+  }
 }
 
 // The golden corpus: 8 tiny hand-built documents over a 10-term
@@ -590,6 +621,206 @@ TEST(Metrics, PrecisionAtKAgainstKnownQrels) {
   // Unjudged sentinel topic.
   EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, 4, qrels, -1), 0.0);
   EXPECT_DOUBLE_EQ(Mean({0.5, 1.0, 0.0}), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// PR 4: streaming/skipping hot path vs the materializing PR 3 plans,
+// request validation, ExecStats, custom-engine baselines
+// ---------------------------------------------------------------------------
+
+TEST_F(GoldenSearchTest, StreamingPathsAgreeWithMaterialized) {
+  const std::vector<std::vector<uint32_t>> term_sets = {
+      {2}, {0, 2}, {1, 2, 3}, {0, 1, 2, 3, 4}, {8, 9}, {4, 6, 8}};
+  for (const auto& terms : term_sets) {
+    Query q;
+    q.terms = terms;
+    for (uint32_t vs : {1u, 3u, 256u}) {
+      SearchOptions streaming, materialized;
+      streaming.vector_size = materialized.vector_size = vs;
+      streaming.k = materialized.k = 100;
+      materialized.streaming_and = false;
+      materialized.maxscore_bm25 = false;
+
+      SearchResult a, b;
+      ASSERT_TRUE(engine_.Search(q, RunType::kBoolAnd, streaming, &a).ok());
+      ASSERT_TRUE(
+          engine_.Search(q, RunType::kBoolAnd, materialized, &b).ok());
+      EXPECT_EQ(a.docids, b.docids) << "AND terms[0]=" << terms[0];
+      EXPECT_EQ(a.num_matches, b.num_matches);
+
+      streaming.k = materialized.k = 4;
+      ASSERT_TRUE(engine_.Search(q, RunType::kBm25, streaming, &a).ok());
+      ASSERT_TRUE(engine_.Search(q, RunType::kBm25, materialized, &b).ok());
+      ExpectRankingsEquivalent(a.docids, a.scores, b.docids, b.scores,
+                               1e-4f);
+    }
+  }
+}
+
+TEST_F(GoldenSearchTest, ValidatesRequestsUpFront) {
+  Query q;
+  q.terms = {2};
+  SearchOptions opts;
+  opts.k = 0;
+  SearchResult r;
+  for (RunType type :
+       {RunType::kBoolAnd, RunType::kBoolOr, RunType::kBm25}) {
+    const Status s = engine_.Search(q, type, opts, &r);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << RunTypeName(type);
+  }
+}
+
+TEST(Search, UnknownTermsGetCleanEmptyResults) {
+  // vocab covers 5 term ids but only 0..2 appear: 3 and 4 are "unknown"
+  // words — in-vocabulary, zero postings.
+  Corpus corpus;
+  ASSERT_TRUE(
+      Corpus::FromDocuments({{0, 1, 1}, {1, 2}, {0, 2}}, 5, &corpus).ok());
+  InvertedIndex index;
+  BuildStats stats;
+  ASSERT_TRUE(index.BuildFromCorpus(corpus, "", &stats).ok());
+  SearchEngine engine(&index);
+
+  SearchOptions opts;
+  SearchResult r;
+  Query q;
+  for (RunType type :
+       {RunType::kBoolAnd, RunType::kBoolOr, RunType::kBm25}) {
+    // All-unknown query: clean empty result, not an error or a crash.
+    q.terms = {3, 4};
+    Status s = engine.Search(q, type, opts, &r);
+    ASSERT_TRUE(s.ok()) << RunTypeName(type) << ": " << s.ToString();
+    EXPECT_TRUE(r.docids.empty()) << RunTypeName(type);
+    EXPECT_EQ(r.num_matches, 0u);
+  }
+
+  // A conjunction containing an unknown term is empty...
+  q.terms = {1, 3};
+  ASSERT_TRUE(engine.Search(q, RunType::kBoolAnd, opts, &r).ok());
+  EXPECT_TRUE(r.docids.empty());
+  // ...while OR / ranked runs just drop it (term 1 is in docs 0 and 1).
+  ASSERT_TRUE(engine.Search(q, RunType::kBoolOr, opts, &r).ok());
+  EXPECT_EQ(r.docids, (std::vector<int32_t>{0, 1}));
+  ASSERT_TRUE(engine.Search(q, RunType::kBm25, opts, &r).ok());
+  EXPECT_EQ(r.num_matches, 2u);
+}
+
+TEST(Database, ExecStatsProveWindowSkipping) {
+  core::Database db;
+  core::DatabaseOptions dopts;
+  dopts.corpus = SmallGeneratedOptions();
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  // Rare term AND frequent term: the candidate list is tiny, so the
+  // frequent term's posting windows must be leapt over, not decoded.
+  uint32_t rare = 0;
+  for (uint32_t t = 0; t < db.index()->vocab_size(); ++t) {
+    const uint32_t df = db.index()->term(t).doc_freq;
+    if (df >= 1 && df <= 4) {
+      rare = t;
+      break;
+    }
+  }
+  ASSERT_GT(db.index()->term(0).doc_freq, 500u);  // Zipf head
+  Query q;
+  q.terms = {0, rare};
+
+  SearchOptions streaming;
+  SearchResult r;
+  ASSERT_TRUE(db.Search(q, RunType::kBoolAnd, streaming, &r).ok());
+  EXPECT_GT(r.stats.windows_skipped, 0u);
+  EXPECT_GT(r.stats.windows_decoded, 0u);
+  // The skipped windows are real savings: far fewer decodes than the
+  // frequent list's window count.
+  const uint64_t frequent_windows = db.index()->term(0).doc_freq / 128;
+  EXPECT_LT(r.stats.windows_decoded, frequent_windows / 2);
+
+  // The materialized path decodes through scans (no skip counters).
+  SearchOptions materialized;
+  materialized.streaming_and = false;
+  SearchResult rm;
+  ASSERT_TRUE(db.Search(q, RunType::kBoolAnd, materialized, &rm).ok());
+  EXPECT_EQ(rm.stats.windows_skipped, 0u);
+  EXPECT_EQ(r.docids, rm.docids);
+
+  // Both ranked paths report primitive calls.
+  SearchOptions ranked;
+  ASSERT_TRUE(db.Search(q, RunType::kBm25, ranked, &r).ok());
+  EXPECT_GT(r.stats.primitive_calls, 0u);
+  ranked.maxscore_bm25 = false;
+  ASSERT_TRUE(db.Search(q, RunType::kBm25, ranked, &r).ok());
+  EXPECT_GT(r.stats.primitive_calls, 0u);
+}
+
+TEST(Database, MaxScorePrunesAndAgreesOnGeneratedCorpus) {
+  core::Database db;
+  core::DatabaseOptions dopts;
+  dopts.corpus = SmallGeneratedOptions();
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  QueryGenOptions qopts;
+  qopts.num_eval_queries = 8;
+  QueryGenerator gen(db.corpus(), qopts);
+  uint64_t total_pruned = 0;
+  for (Query q : gen.EvalQueries()) {
+    // Mix in the heaviest Zipf term: low idf, long list — the textbook
+    // non-essential term once the heap fills.
+    q.terms.push_back(0);
+    SearchOptions maxscore, union_all;
+    maxscore.k = union_all.k = 5;
+    maxscore.vector_size = union_all.vector_size = 64;
+    union_all.maxscore_bm25 = false;
+    SearchResult a, b;
+    ASSERT_TRUE(db.Search(q, RunType::kBm25, maxscore, &a).ok());
+    ASSERT_TRUE(db.Search(q, RunType::kBm25, union_all, &b).ok());
+    ExpectRankingsEquivalent(a.docids, a.scores, b.docids, b.scores, 1e-4f);
+    total_pruned += a.stats.vectors_pruned;
+    // Pruning can only shrink the candidate set.
+    EXPECT_LE(a.num_matches, b.num_matches);
+  }
+  EXPECT_GT(total_pruned, 0u);
+}
+
+TEST(CustomEngine, BaselinesAgreeWithDbmsBm25) {
+  Corpus corpus = GoldenCorpus();
+  InvertedIndex index;
+  BuildStats stats;
+  ASSERT_TRUE(index.BuildFromCorpus(corpus, "", &stats).ok());
+  SearchEngine engine(&index);
+  CustomIrEngine custom;
+  ASSERT_TRUE(custom.Load(&index).ok());
+  EXPECT_EQ(custom.resident_bytes(), corpus.num_postings() * 8);
+
+  const std::vector<std::vector<uint32_t>> term_sets = {
+      {2}, {0, 2}, {1, 2, 3}, {5, 8}, {0, 1, 2, 3, 4}};
+  for (const auto& terms : term_sets) {
+    Query q;
+    q.terms = terms;
+    SearchOptions opts;
+    opts.k = 4;
+    SearchResult want;
+    ASSERT_TRUE(engine.Search(q, RunType::kBm25, opts, &want).ok());
+
+    CustomSearchResult daat, taat, maxscore;
+    ASSERT_TRUE(custom.SearchDaat(q, 4, &daat).ok());
+    ASSERT_TRUE(custom.SearchTaat(q, 4, &taat).ok());
+    ASSERT_TRUE(custom.SearchMaxScore(q, 4, &maxscore).ok());
+    for (const CustomSearchResult* r : {&daat, &taat, &maxscore}) {
+      ExpectRankingsEquivalent(r->docids, r->scores, want.docids,
+                               want.scores, 1e-4f);
+    }
+    EXPECT_EQ(daat.num_matches, want.num_matches);
+    EXPECT_EQ(taat.num_matches, want.num_matches);
+  }
+
+  // Validation mirrors the engine's.
+  CustomSearchResult r;
+  Query q;
+  EXPECT_FALSE(custom.SearchDaat(q, 4, &r).ok());  // empty
+  q.terms = {2};
+  EXPECT_FALSE(custom.SearchDaat(q, 0, &r).ok());  // k == 0
+  q.terms = {1000};
+  EXPECT_FALSE(custom.SearchTaat(q, 4, &r).ok());  // out of vocabulary
 }
 
 // The planted topics give BM25 real signal: eval queries retrieve their

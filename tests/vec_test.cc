@@ -22,6 +22,7 @@
 #include "vec/primitives.h"
 #include "vec/scan.h"
 #include "vec/select.h"
+#include "vec/streaming_merge.h"
 
 namespace x100ir::vec {
 namespace {
@@ -675,6 +676,77 @@ TEST(MergeJoin, RejectsUnsortedInput) {
   std::vector<OperatorPtr> children;
   children.push_back(MakeListScan(&ctx, bad, payload, "p"));
   MergeJoinOperator join(&ctx, std::move(children), MergeMode::kIntersect);
+  EXPECT_FALSE(join.Open().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming merge-join over skip cursors (PR 4)
+// ---------------------------------------------------------------------------
+
+std::vector<int32_t> RunStreamingJoin(
+    const std::vector<std::vector<int32_t>>& lists, uint32_t vector_size) {
+  ExecContext ctx;
+  ctx.vector_size = vector_size;
+  std::vector<SkipCursorPtr> cursors;
+  for (const auto& l : lists) {
+    cursors.push_back(std::make_unique<MemSkipCursor>(l));
+  }
+  StreamingMergeJoinOperator join(&ctx, std::move(cursors));
+  EXPECT_TRUE(join.Open().ok());
+  std::vector<int32_t> out;
+  Batch* batch = nullptr;
+  while (true) {
+    EXPECT_TRUE(join.Next(&batch).ok());
+    if (batch == nullptr) break;
+    EXPECT_EQ(batch->sel, nullptr);
+    const int32_t* d = batch->columns[0]->Data<int32_t>();
+    out.insert(out.end(), d, d + batch->count);
+  }
+  join.Close();
+  return out;
+}
+
+TEST(StreamingMergeJoin, MatchesSetIntersectionOracle) {
+  struct Case {
+    std::vector<uint32_t> sizes;
+    uint32_t gap;
+  };
+  const std::vector<Case> cases = {
+      {{1000, 1000}, 3},        // dense overlap
+      {{50, 100000}, 2},        // rare-vs-frequent (the skipping case)
+      {{100000, 50}, 2},        // candidate list is the long one
+      {{300, 4000, 900}, 4},    // 3-way
+      {{20, 20, 20, 20, 5}, 6},  // 5-way tiny
+      {{700}, 2},               // single child: identity
+  };
+  uint64_t seed = 1234;
+  for (const Case& c : cases) {
+    std::vector<std::vector<int32_t>> lists;
+    for (uint32_t n : c.sizes) lists.push_back(SortedUnique(n, c.gap, seed++));
+    std::vector<int32_t> expected = lists[0];
+    for (size_t i = 1; i < lists.size(); ++i) {
+      std::vector<int32_t> next;
+      std::set_intersection(expected.begin(), expected.end(),
+                            lists[i].begin(), lists[i].end(),
+                            std::back_inserter(next));
+      expected = std::move(next);
+    }
+    for (uint32_t vs : {1u, 7u, 1024u}) {
+      EXPECT_EQ(RunStreamingJoin(lists, vs), expected)
+          << "sizes[0]=" << c.sizes[0] << " vs=" << vs;
+    }
+  }
+}
+
+TEST(StreamingMergeJoin, EmptyAndDisjointInputs) {
+  const std::vector<int32_t> some = {1, 5, 9};
+  EXPECT_TRUE(RunStreamingJoin({{}, some}, 16).empty());
+  EXPECT_TRUE(RunStreamingJoin({some, {}}, 16).empty());
+  EXPECT_TRUE(RunStreamingJoin({{2, 4, 6}, {1, 3, 5}}, 16).empty());
+
+  ExecContext ctx;
+  std::vector<SkipCursorPtr> none;
+  StreamingMergeJoinOperator join(&ctx, std::move(none));
   EXPECT_FALSE(join.Open().ok());
 }
 
