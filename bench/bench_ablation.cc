@@ -1,137 +1,138 @@
-// Ablations of ColumnBM design choices called out in DESIGN.md §4:
-//   1. Disk block size ("the granularity of disk accesses is in blocks of
-//      several megabytes, to optimize for fast sequential I/O"): cold query
-//      cost vs values-per-block.
+// Ablations of ColumnBM design choices called out in DESIGN.md §8:
+//   1. Page (disk block) size — "the granularity of disk accesses is in
+//      blocks of several megabytes, to optimize for fast sequential I/O":
+//      cold query cost vs page size. Pages are a read-time knob of the
+//      buffer pool, so the sweep reopens the same on-disk index with
+//      different page sizes — no rebuild.
 //   2. Buffer pool capacity: hit rate / simulated I/O as the pool shrinks
 //      below the working set.
+#include <algorithm>
 #include <cstdio>
-#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "ir/index_builder.h"
-#include "ir/metrics.h"
 #include "ir/query_gen.h"
 #include "ir/search_engine.h"
 
 namespace x100ir {
 namespace {
 
-int Run() {
-  std::printf("=== ColumnBM ablations: block size & buffer pool ===\n\n");
+// A smaller private collection: the sweeps run hundreds of cold queries
+// per configuration.
+core::DatabaseOptions AblationOptions() {
+  core::DatabaseOptions opts;
+  opts.dir = bench::BenchDir() + "/ablation";
+  opts.corpus = bench::BenchCorpusOptions();
+  opts.corpus.num_docs = std::min(opts.corpus.num_docs, 20000u);
+  opts.corpus.num_topics = 20;
+  opts.corpus.relevant_docs_per_topic = 60;
+  return opts;
+}
 
-  // A smaller private collection: this bench rebuilds indexes per block
-  // size. Topic counts are scaled down with it.
-  ir::CorpusOptions copts = bench::BenchCorpusOptions();
-  copts.num_docs = 20000;
-  copts.num_topics = 20;
-  copts.relevant_docs_per_topic = 60;
-  copts.distractors_per_topic = 120;
-  ir::SyntheticCorpus corpus(copts);
+int Run() {
+  std::printf("=== ColumnBM ablations: page size & buffer pool ===\n\n");
+
+  core::DatabaseOptions base = AblationOptions();
   ir::QueryGenOptions qopts = bench::BenchQueryOptions();
   qopts.num_efficiency_queries = 200;
-  ir::QueryGenerator gen(corpus, qopts);
-  auto queries = gen.EfficiencyQueries();
 
-  std::string base = bench::BenchDir() + "/ablation";
-
-  // ---- 1. Block size sweep. -------------------------------------------
-  std::printf("-- disk block size (cold BM25TC, %zu queries) --\n",
-              queries.size());
-  TablePrinter block_table({"values/block", "~raw block", "cold avg (ms)",
-                            "I/O seeks/query", "I/O bytes/query"});
-  for (uint32_t vpb : {16u * 1024, 64u * 1024, 256u * 1024, 1024u * 1024}) {
-    std::string dir = base + "/blocks_" + std::to_string(vpb);
-    if (!std::filesystem::exists(dir + "/meta.bin")) {
-      std::filesystem::create_directories(dir);
-      ir::IndexBuildOptions build;
-      build.dir = dir;
-      build.values_per_block = vpb;
-      bench::CheckOk(BuildIndex(corpus, build, nullptr), "build");
-    }
-    ir::IrIndex index;
-    bench::CheckOk(index.Open(dir), "open");
-    ir::SearchEngine engine(&index);
-    ir::SearchOptions opts;
+  // ---- 1. Page size sweep (cold BM25TC). ------------------------------
+  std::printf("-- page size (cold BM25TC, %u queries) --\n",
+              qopts.num_efficiency_queries);
+  TablePrinter page_table({"page", "cold avg (ms)", "I/O seeks/query",
+                           "I/O bytes/query"});
+  for (uint32_t page_kb : {16u, 64u, 256u, 1024u}) {
+    core::DatabaseOptions opts = base;
+    opts.storage.page_bytes = page_kb << 10;
+    core::Database db;
+    bench::CheckOk(db.Open(opts), "open database");
+    ir::QueryGenerator gen(db.corpus(), qopts);
+    auto queries = gen.EfficiencyQueries();
+    ir::SearchOptions sopts;
     ir::SearchResult result;
     double total = 0.0;
-    uint64_t seeks_before = index.disk()->seeks();
-    uint64_t bytes_before = index.disk()->total_bytes();
+    const uint64_t seeks_before = db.disk()->seeks();
+    const uint64_t bytes_before = db.disk()->total_bytes();
     for (const auto& q : queries) {
-      bench::CheckOk(index.EvictAll(), "evict");
-      bench::CheckOk(engine.Search(q, ir::RunType::kBm25TC, opts, &result),
+      bench::CheckOk(db.index()->EvictAll(), "evict");
+      bench::CheckOk(db.Search(q, ir::RunType::kBm25TC, sopts, &result),
                      "search");
       total += result.TotalSeconds();
     }
-    double n = static_cast<double>(queries.size());
-    block_table.AddRow(
-        {HumanCount(vpb), HumanBytes(static_cast<uint64_t>(vpb) * 4),
-         StrFormat("%.3f", total * 1e3 / n),
+    const double n = static_cast<double>(queries.size());
+    page_table.AddRow(
+        {StrFormat("%u KB", page_kb), StrFormat("%.3f", total * 1e3 / n),
          StrFormat("%.1f",
-                   static_cast<double>(index.disk()->seeks() - seeks_before) /
+                   static_cast<double>(db.disk()->seeks() - seeks_before) /
                        n),
          HumanBytes(static_cast<uint64_t>(
-             static_cast<double>(index.disk()->total_bytes() - bytes_before) /
+             static_cast<double>(db.disk()->total_bytes() - bytes_before) /
              n))});
   }
-  block_table.Print();
+  page_table.Print();
   std::printf(
-      "shape: small blocks pay a seek per touched block; large blocks read "
-      "bytes a query never uses. The paper picks multi-MB blocks because "
-      "RAID makes transfer cheap relative to positioning.\n\n");
+      "shape: small pages pay a positioning charge per touched page; large "
+      "pages read bytes a query never uses. The paper picks multi-MB "
+      "blocks because RAID makes transfer cheap relative to positioning.\n"
+      "\n");
 
-  // ---- 2. Buffer pool capacity sweep. ----------------------------------
-  std::printf("-- buffer pool capacity (hot-loop BM25TC, %zu queries) --\n",
-              queries.size());
+  // ---- 2. Buffer pool capacity sweep (hot-loop BM25TC). ----------------
+  std::printf("-- buffer pool capacity (hot-loop BM25TC, %u queries) --\n",
+              qopts.num_efficiency_queries);
   TablePrinter pool_table({"pool", "hit rate", "sim I/O ms/query",
                            "evictions"});
-  std::string dir = base + "/blocks_262144";  // reuse the 256K-value build
-  for (size_t pool_mb : {1u, 4u, 16u, 64u, 256u}) {
-    ir::IndexOpenOptions open;
-    open.buffer_pool_bytes = pool_mb << 20;
-    ir::IrIndex index;
-    bench::CheckOk(index.Open(dir, open), "open");
-    ir::SearchEngine engine(&index);
-    ir::SearchOptions opts;
+  for (uint64_t pool_kb : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    core::DatabaseOptions opts = base;
+    opts.storage.page_bytes = 64u << 10;
+    opts.storage.pool_bytes = pool_kb << 10;
+    core::Database db;
+    bench::CheckOk(db.Open(opts), "open database");
+    ir::QueryGenerator gen(db.corpus(), qopts);
+    auto queries = gen.EfficiencyQueries();
+    ir::SearchOptions sopts;
     ir::SearchResult result;
-    // Two passes: the second measures steady-state behavior. A pool smaller
-    // than the plan's concurrently pinned blocks cannot run at all — itself
-    // an informative data point.
+    // Two passes: the second measures steady state. A pool smaller than
+    // one page's pinned working set cannot run at all — itself an
+    // informative row.
     bool too_small = false;
     for (const auto& q : queries) {
-      Status s = engine.Search(q, ir::RunType::kBm25TC, opts, &result);
+      Status s = db.Search(q, ir::RunType::kBm25TC, sopts, &result);
       if (!s.ok()) {
         too_small = true;
         break;
       }
     }
     if (too_small) {
-      pool_table.AddRow({StrFormat("%zu MB", pool_mb), "-", "-",
-                         "pool < pinned working set"});
+      pool_table.AddRow({StrFormat("%llu KB",
+                                   static_cast<unsigned long long>(pool_kb)),
+                         "-", "-", "pool < pinned working set"});
       continue;
     }
-    index.buffer_manager()->ResetStats();
+    db.index()->buffer_manager()->ResetStats();
     double io = 0.0;
     for (const auto& q : queries) {
-      bench::CheckOk(engine.Search(q, ir::RunType::kBm25TC, opts, &result),
+      bench::CheckOk(db.Search(q, ir::RunType::kBm25TC, sopts, &result),
                      "search");
       io += result.io_seconds;
     }
-    const auto& stats = index.buffer_manager()->stats();
+    const storage::BufferStats& stats = *db.buffer_stats();
     pool_table.AddRow(
-        {StrFormat("%zu MB", pool_mb), StrFormat("%.1f%%",
-                                                 100.0 * stats.HitRate()),
-         StrFormat("%.3f", io * 1e3 / static_cast<double>(queries.size())),
-         StrFormat("%llu", static_cast<unsigned long long>(stats.evictions))});
+        {StrFormat("%llu KB", static_cast<unsigned long long>(pool_kb)),
+         StrFormat("%.1f%%", 100.0 * stats.HitRate()),
+         StrFormat("%.3f",
+                   io * 1e3 / static_cast<double>(queries.size())),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(stats.evictions))});
   }
   pool_table.Print();
   std::printf(
       "shape: once the pool covers the query working set the hit rate "
       "saturates and simulated I/O vanishes — the paper's hot runs. "
       "Compression moves the saturation point left (the whole compressed "
-      "index fits in RAM, SS3.4).\n");
+      "index fits in RAM, §3.4).\n");
   return 0;
 }
 

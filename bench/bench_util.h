@@ -69,6 +69,27 @@ inline ir::CorpusOptions BenchCorpusOptions() {
   return opts;
 }
 
+/// Storage-layer knobs scaled with the collection: the paper's multi-MB
+/// blocks fit a 426 GB collection whose posting lists run to megabytes;
+/// our stand-in's lists are ~1000x shorter, so pages shrink with them —
+/// otherwise every per-term range rounds to one page and the Table 2 rows
+/// (whose whole point is byte-volume differences) collapse together.
+inline storage::StorageOptions BenchStorageOptions() {
+  storage::StorageOptions opts;
+  switch (Scale()) {
+    case BenchScale::kTiny:
+      opts.page_bytes = 4u << 10;
+      break;
+    case BenchScale::kDefault:
+      opts.page_bytes = 32u << 10;
+      break;
+    case BenchScale::kLarge:
+      opts.page_bytes = 256u << 10;
+      break;
+  }
+  return opts;
+}
+
 inline ir::QueryGenOptions BenchQueryOptions() {
   ir::QueryGenOptions opts;
   opts.num_eval_queries = Scale() == BenchScale::kTiny ? 20 : 50;
@@ -86,6 +107,7 @@ inline Status OpenBenchDatabase(core::Database* db,
   core::DatabaseOptions opts;
   opts.dir = BenchDir() + "/" + subdir;
   opts.corpus = BenchCorpusOptions();
+  opts.storage = BenchStorageOptions();
   std::fprintf(stderr,
                "[bench] collection: %u docs, %u terms (index dir %s)\n",
                opts.corpus.num_docs, opts.corpus.vocab_size,

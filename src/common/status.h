@@ -18,6 +18,8 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kUnimplemented,
+  kFailedPrecondition,
+  kResourceExhausted,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -36,6 +38,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -83,6 +89,12 @@ inline Status Internal(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 // Status-or-value return type for factory functions (CompiledExpr::Compile,

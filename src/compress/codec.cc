@@ -4,6 +4,7 @@
 #include "compress/codec.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "compress/block_layout.h"
@@ -283,6 +284,16 @@ Status BuildBlock(const BlockBuildInput& in, std::vector<uint8_t>* out,
 // ---------------------------------------------------------------------------
 
 Status BlockDecoder::Init(const uint8_t* data, size_t size) {
+  return InitInternal(data, size, size, /*meta_only=*/false);
+}
+
+Status BlockDecoder::InitMeta(const uint8_t* meta, size_t meta_size,
+                              size_t full_size) {
+  return InitInternal(meta, meta_size, full_size, /*meta_only=*/true);
+}
+
+Status BlockDecoder::InitInternal(const uint8_t* data, size_t size,
+                                  size_t full_size, bool meta_only) {
   if (data == nullptr || size < sizeof(BlockHeader)) {
     return InvalidArgument("block too small");
   }
@@ -311,8 +322,19 @@ Status BlockDecoder::Init(const uint8_t* data, size_t size) {
                            sizeof(ExceptionRecord) *
                                static_cast<uint64_t>(hdr.n_exceptions);
   if (entries_end > hdr.code_offset || hdr.code_offset > hdr.exc_offset ||
-      exc_end + kBlockPadBytes > size) {
+      exc_end + kBlockPadBytes > full_size) {
     return InvalidArgument("truncated block");
+  }
+  if (meta_only) {
+    // The caller hands us only the metadata prefix; everything up to the
+    // window payloads must be present, and the naive layout is rejected
+    // outright (per-window exception slots live in absent payload bytes).
+    if (size < hdr.code_offset) {
+      return InvalidArgument("metadata prefix shorter than code offset");
+    }
+    if ((hdr.flags & kFlagNaiveLayout) != 0) {
+      return InvalidArgument("metadata-only init on a naive-layout block");
+    }
   }
   if ((hdr.exc_offset & 3u) != 0 || (hdr.dict_offset & 3u) != 0) {
     return InvalidArgument("misaligned section offset");
@@ -341,13 +363,17 @@ Status BlockDecoder::Init(const uint8_t* data, size_t size) {
   scheme_ = static_cast<Scheme>(hdr.scheme);
   bit_width_ = hdr.bit_width;
   naive_layout_ = (hdr.flags & kFlagNaiveLayout) != 0;
+  meta_only_ = meta_only;
   base_ = hdr.base;
   n_ = hdr.n;
   n_exceptions_ = hdr.n_exceptions;
   entry_count_ = hdr.entry_count;
+  meta_bytes_ = hdr.code_offset;
+  code_offset_ = hdr.code_offset;
+  exc_offset_ = hdr.exc_offset;
   entries_ = data + sizeof(BlockHeader);
-  codes_ = data + hdr.code_offset;
-  exceptions_ = data + hdr.exc_offset;
+  codes_ = meta_only ? nullptr : data + hdr.code_offset;
+  exceptions_ = meta_only ? nullptr : data + hdr.exc_offset;
   dict_ = hdr.dict_offset != 0
               ? reinterpret_cast<const int32_t*>(data + hdr.dict_offset)
               : nullptr;
@@ -391,6 +417,9 @@ Status BlockDecoder::Init(const uint8_t* data, size_t size) {
 
 Status BlockDecoder::Validate() const {
   if (data_ == nullptr) return Internal("Init not called");
+  if (meta_only_) {
+    return Internal("payload not resident (metadata-only init)");
+  }
   const auto* exc = reinterpret_cast<const ExceptionRecord*>(exceptions_);
   const uint32_t sentinel = (1u << bit_width_) - 1;
   for (uint32_t w = 0; w < entry_count_; ++w) {
@@ -425,6 +454,53 @@ Status BlockDecoder::Validate() const {
 
 int32_t BlockDecoder::WindowValueBase(uint32_t w) const {
   return EntryAt(w).value_base;
+}
+
+WindowExtent BlockDecoder::WindowExtentOf(uint32_t w) const {
+  Entry ep;
+  const uint32_t nexc = ExceptionsInWindow(w, &ep);
+  const uint32_t wn = WindowLen(w);
+  WindowExtent ext;
+  ext.payload_offset = code_offset_ + ep.payload_off;
+  ext.payload_bytes = ep.first_exc == kDenseWindow
+                          ? 4 * wn
+                          : WindowBytes(wn, bit_width_);
+  ext.exc_offset = exc_offset_ +
+                   static_cast<uint64_t>(ep.exc_start) *
+                       sizeof(ExceptionRecord);
+  ext.exc_count = nexc;
+  return ext;
+}
+
+void BlockDecoder::DecodeWindowDetached(uint32_t w, const uint8_t* payload,
+                                        const uint8_t* exc,
+                                        int32_t* dst) const {
+  const uint32_t wn = WindowLen(w);
+  Entry ep;
+  const uint32_t nexc = ExceptionsInWindow(w, &ep);
+  if (ep.first_exc == kDenseWindow) {
+    std::memcpy(dst, payload, 4ull * wn);
+  } else {
+    if (scheme_ == Scheme::kPdict) {
+      internal::GetUnpackDict(bit_width_)(payload, wn, dict_, dst);
+    } else {
+      internal::GetUnpackAdd(bit_width_)(payload, wn, base_, dst);
+    }
+    // LOOP2 from the caller's record buffer. Unlike the resident path —
+    // whose record positions Validate() vets once per block — these records
+    // come straight off storage at query time, so out-of-window positions
+    // are clamped here: a torn or corrupt file may yield wrong values but
+    // never an out-of-bounds store.
+    const auto* recs = reinterpret_cast<const ExceptionRecord*>(exc);
+    const uint32_t begin = w * kEntryPointStride;
+    for (uint32_t k = 0; k < nexc; ++k) {
+      const uint32_t slot = recs[k].pos - begin;
+      if (slot < wn) dst[slot] = recs[k].value;
+    }
+  }
+  if (scheme_ == Scheme::kPforDelta) {
+    PrefixSumInPlace(dst, wn, ep.value_base);
+  }
 }
 
 BlockDecoder::Entry BlockDecoder::EntryAt(uint32_t w) const {
@@ -514,6 +590,8 @@ constexpr uint32_t kBatchWindows = 8;
 }  // namespace
 
 void BlockDecoder::DecodeAll(int32_t* out) const {
+  assert(!meta_only_ && "payload not resident (metadata-only init)");
+  if (meta_only_) return;
   if (naive_layout_) {
     for (uint32_t w = 0; w < entry_count_; ++w) {
       DecodeWindowNaive(w, out + static_cast<size_t>(w) * kEntryPointStride);
@@ -599,6 +677,8 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
 void BlockDecoder::DecodeNaive(int32_t* out) const { DecodeAll(out); }
 
 void BlockDecoder::Decode(uint32_t pos, uint32_t len, int32_t* out) const {
+  assert(!meta_only_ && "payload not resident (metadata-only init)");
+  if (meta_only_) return;
   // Edge cases pinned by Codec.RangeDecodeHostileEdges: len == 0 and
   // pos >= n_ (including pos == n_ exactly) write nothing; pos + len past
   // n_ (including uint32 wrap, e.g. pos = n_ - 1, len = UINT32_MAX) clamps
@@ -637,7 +717,9 @@ void BlockDecoder::Decode(uint32_t pos, uint32_t len, int32_t* out) const {
 }
 
 void BlockDecoder::ExceptionMask(std::vector<bool>* mask) const {
+  assert(!meta_only_ && "payload not resident (metadata-only init)");
   mask->assign(n_, false);
+  if (meta_only_) return;
   const uint32_t sentinel = (1u << bit_width_) - 1;
   for (uint32_t w = 0; w < entry_count_; ++w) {
     const uint32_t begin = w * kEntryPointStride;

@@ -97,6 +97,19 @@ struct BlockStats {
   }
 };
 
+// Byte extents of one window's decode inputs within a block — what a
+// storage layer must fetch (and may cache/evict at window granularity) to
+// decode window w without the rest of the block resident. Offsets are from
+// the block start; `payload_bytes` excludes the 8-byte unaligned-load slack
+// the decode kernels need past the payload (DecodeWindowDetached's caller
+// provides it, e.g. by copying into a padded scratch buffer).
+struct WindowExtent {
+  uint64_t payload_offset = 0;
+  uint32_t payload_bytes = 0;
+  uint64_t exc_offset = 0;   // first exception record of the window
+  uint32_t exc_count = 0;    // 8-byte records, contiguous per window
+};
+
 class BlockDecoder {
  public:
   BlockDecoder() = default;
@@ -107,6 +120,36 @@ class BlockDecoder {
   // rejected. The decoder borrows `data` (must stay alive and must be
   // 4-byte aligned — vector<uint8_t>::data() is).
   Status Init(const uint8_t* data, size_t size);
+
+  // Metadata-only init for storage-backed blocks: `meta` holds at least the
+  // first MetaBytes() of the block (header + entry points + dictionary),
+  // `full_size` is the complete on-disk block size the section offsets are
+  // checked against. After this, only the metadata accessors (n, scheme,
+  // WindowValueBase, WindowExtentOf, MetaBytes) and DecodeWindowDetached
+  // are usable — the whole-block entry points would read absent payload
+  // memory, so Validate reports Internal and the Decode* methods assert in
+  // debug builds / write nothing in release. Naive-layout blocks are
+  // rejected: stored columns never use the naive layout.
+  Status InitMeta(const uint8_t* meta, size_t meta_size, size_t full_size);
+
+  // Header + entry points + dictionary: the prefix a storage layer keeps
+  // resident to serve window-granular decodes. Valid after either init.
+  size_t MetaBytes() const { return meta_bytes_; }
+
+  // Byte offset of the exception-record section (n_exceptions() 8-byte
+  // records) — the other block region a storage layer keeps resident.
+  uint64_t ExcSectionOffset() const { return exc_offset_; }
+
+  // Byte extents of window w's decode inputs (w < entry_count()).
+  WindowExtent WindowExtentOf(uint32_t w) const;
+
+  // Decodes window w into dst[0..WindowLen(w)) from detached buffers:
+  // `payload` points at the window's payload bytes with at least 8 readable
+  // bytes beyond them (copy into a padded scratch when fetching from page
+  // frames), `exc` at its exc_count exception records (4-byte aligned).
+  // Works after Init or InitMeta; the patched layout only.
+  void DecodeWindowDetached(uint32_t w, const uint8_t* payload,
+                            const uint8_t* exc, int32_t* dst) const;
 
   // Deep validation of the block payload (O(n)): exception record
   // positions (corruption would become an out-of-bounds write in LOOP2)
@@ -161,6 +204,11 @@ class BlockDecoder {
     uint32_t payload_off;
   };
 
+  // Shared by Init and InitMeta; `meta_only` relaxes the size check to the
+  // metadata prefix and leaves codes_/exceptions_ null.
+  Status InitInternal(const uint8_t* data, size_t size, size_t full_size,
+                      bool meta_only);
+
   Entry EntryAt(uint32_t w) const;
   uint32_t WindowLen(uint32_t w) const;
   uint32_t ExceptionsInWindow(uint32_t w, Entry* entry) const;
@@ -179,10 +227,14 @@ class BlockDecoder {
   Scheme scheme_ = Scheme::kPfor;
   int bit_width_ = 0;
   bool naive_layout_ = false;
+  bool meta_only_ = false;
   int32_t base_ = 0;
   uint32_t n_ = 0;
   uint32_t n_exceptions_ = 0;
   uint32_t entry_count_ = 0;
+  size_t meta_bytes_ = 0;
+  uint64_t code_offset_ = 0;
+  uint64_t exc_offset_ = 0;
 };
 
 }  // namespace x100ir::compress

@@ -5,8 +5,9 @@ namespace x100ir::core {
 Status Database::Open(const DatabaseOptions& options) {
   open_ = false;
   X100IR_RETURN_IF_ERROR(ir::Corpus::Generate(options.corpus, &corpus_));
-  X100IR_RETURN_IF_ERROR(
-      index_.BuildFromCorpus(corpus_, options.dir, &build_stats_));
+  X100IR_RETURN_IF_ERROR(index_.BuildFromCorpus(corpus_, options.dir,
+                                                &build_stats_,
+                                                options.storage));
   engine_.set_index(&index_);
   open_ = true;
   return OkStatus();

@@ -20,9 +20,13 @@ namespace x100ir::core {
 
 struct DatabaseOptions {
   // Index directory. Column files are written here on first build and
-  // reused when the corpus fingerprint matches. Empty = in-memory only.
+  // reused when the corpus fingerprint matches. Empty = in-memory only
+  // (the storage-era RunTypes then report FailedPrecondition).
   std::string dir;
   ir::CorpusOptions corpus;
+  // Buffer pool / page size / simulated-disk model for the storage runs.
+  // Only meaningful with a non-empty dir.
+  storage::StorageOptions storage;
 };
 
 class Database {
@@ -43,6 +47,14 @@ class Database {
   const ir::Corpus& corpus() const { return corpus_; }
   const ir::InvertedIndex* index() const { return &index_; }
   const ir::BuildStats& build_stats() const { return build_stats_; }
+
+  // Storage-layer telemetry (null for in-memory-only databases): buffer
+  // pool hit/miss/eviction counters and the simulated disk's I/O totals.
+  const storage::BufferStats* buffer_stats() const {
+    return index_.has_storage() ? &index_.buffer_manager()->stats()
+                                : nullptr;
+  }
+  const storage::SimulatedDisk* disk() const { return index_.disk(); }
 
  private:
   bool open_ = false;

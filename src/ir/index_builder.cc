@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "common/timer.h"
 #include "compress/pfor.h"
 #include "compress/pfor_delta.h"
+#include "ir/bm25.h"
 
 namespace x100ir::ir {
 namespace {
@@ -172,6 +174,7 @@ Status InvertedIndex::EncodeAndPersist(const std::string& dir,
     X100IR_RETURN_IF_ERROR(WriteColumnFile(
         dir + "/" + kTfCompressedFile, ColumnFileHeader::kCompressedBlock, n,
         tf_block.data(), tf_block.size()));
+    X100IR_RETURN_IF_ERROR(MaterializeScores(dir, docid_col, tf_col));
     // Meta last: a torn run leaves columns without meta, which reads as
     // "rebuild" next time instead of "trust stale files".
     X100IR_RETURN_IF_ERROR(WriteMeta(dir + "/" + kIndexMetaFile,
@@ -184,9 +187,101 @@ Status InvertedIndex::EncodeAndPersist(const std::string& dir,
   return MakeBlockSource(std::move(tf_block), &tf_source_, n, "tf");
 }
 
+// The materialized score columns (DESIGN.md §8.4): score[p] is posting p's
+// full BM25 contribution under the build-time parameters, so the TCM run
+// replaces (tf decode + doclen gather + float kernel) with one column
+// scan. The quantized twin stores q = round((score - bias) / scale) with
+// scale spanning [min, max] of the column across the full u8 range —
+// per-score error is at most scale/2.
+Status InvertedIndex::MaterializeScores(
+    const std::string& dir, const std::vector<int32_t>& docid_col,
+    const std::vector<int32_t>& tf_col) const {
+  const uint64_t n = docid_col.size();
+  std::vector<float> scores(n);
+  const float inv_avgdl =
+      avg_doc_len_ > 0.0 ? static_cast<float>(1.0 / avg_doc_len_) : 0.0f;
+  for (uint32_t t = 0; t < vocab_size(); ++t) {
+    const TermInfo& info = terms_[t];
+    for (uint64_t p = info.posting_start;
+         p < info.posting_start + info.doc_freq; ++p) {
+      scores[p] = Bm25One(info.idf, static_cast<float>(tf_col[p]),
+                          static_cast<float>(doc_lens_[docid_col[p]]),
+                          kMaterializedK1, kMaterializedB, inv_avgdl);
+    }
+  }
+  X100IR_RETURN_IF_ERROR(WriteColumnFile(
+      dir + "/" + kScoreF32File, ColumnFileHeader::kRawF32, n, scores.data(),
+      scores.size() * sizeof(float)));
+
+  float lo = 0.0f, hi = 0.0f;
+  if (n > 0) {
+    const auto [mn, mx] = std::minmax_element(scores.begin(), scores.end());
+    lo = *mn;
+    hi = *mx;
+  }
+  Q8Params params;
+  params.bias = lo;
+  params.scale = hi > lo ? (hi - lo) / 255.0f : 1.0f;
+  std::vector<uint8_t> q8(sizeof(Q8Params) + n);
+  std::memcpy(q8.data(), &params, sizeof(params));
+  const float inv_scale = 1.0f / params.scale;
+  for (uint64_t p = 0; p < n; ++p) {
+    const float q = std::nearbyint((scores[p] - params.bias) * inv_scale);
+    q8[sizeof(Q8Params) + p] = static_cast<uint8_t>(
+        q < 0.0f ? 0.0f : (q > 255.0f ? 255.0f : q));
+  }
+  return WriteColumnFile(dir + "/" + kScoreQ8File,
+                         ColumnFileHeader::kQuantU8, n, q8.data(),
+                         q8.size());
+}
+
+Status InvertedIndex::AttachStorage(const std::string& dir,
+                                    const storage::StorageOptions& opts) {
+  storage_.reset();
+  auto st = std::make_unique<IndexStorage>();
+  st->disk = storage::SimulatedDisk(opts.disk);
+  st->pool = std::make_unique<storage::BufferManager>(
+      opts.pool_bytes, &st->disk, opts.page_bytes);
+  struct ColumnSpec {
+    storage::ColumnReader* reader;
+    const char* file;
+  };
+  const ColumnSpec specs[] = {
+      {&st->docid_raw, kDocidRawFile},
+      {&st->tf_raw, kTfRawFile},
+      {&st->docid_compressed, kDocidCompressedFile},
+      {&st->tf_compressed, kTfCompressedFile},
+      {&st->score_f32, kScoreF32File},
+      {&st->score_q8, kScoreQ8File},
+  };
+  uint32_t file_id = 0;
+  for (const ColumnSpec& spec : specs) {
+    X100IR_RETURN_IF_ERROR(
+        spec.reader->Open(dir + "/" + spec.file, file_id++, st->pool.get()));
+    if (spec.reader->value_count() != num_postings_) {
+      return Internal(StrFormat("%s holds %llu values, expected %llu",
+                                spec.file,
+                                static_cast<unsigned long long>(
+                                    spec.reader->value_count()),
+                                static_cast<unsigned long long>(
+                                    num_postings_)));
+    }
+  }
+  storage_ = std::move(st);
+  return OkStatus();
+}
+
+Status InvertedIndex::EvictAll() const {
+  if (storage_ == nullptr) {
+    return FailedPrecondition("index has no storage layer (in-memory only)");
+  }
+  return storage_->pool->EvictAll();
+}
+
 Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
                                       const std::string& dir,
-                                      BuildStats* stats) {
+                                      BuildStats* stats,
+                                      const storage::StorageOptions& storage) {
   if (stats == nullptr) return InvalidArgument("null build stats");
   *stats = BuildStats();
   if (corpus.num_postings() == 0) {
@@ -228,14 +323,19 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
 
   // Reuse check before materializing the TD columns: a fingerprint match
   // makes the counting sort + encode (the expensive part, ~8 bytes/posting
-  // of scratch) unnecessary, so don't pay for it on every reopen.
+  // of scratch) unnecessary, so don't pay for it on every reopen. Reuse
+  // requires *every* persisted column to load and validate — the storage
+  // attach revalidates the raw and score files against their exact
+  // expected sizes, so a torn write to any of them (truncation at any
+  // offset) reads as "rebuild", never as "serve garbage".
   const uint64_t fingerprint = corpus.Fingerprint();
   if (!dir.empty() &&
       MetaMatches(dir + "/" + kIndexMetaFile, fingerprint, num_postings_,
                   num_docs_, vocab_size()) &&
-      TryLoadColumns(dir).ok()) {
+      TryLoadColumns(dir).ok() && AttachStorage(dir, storage).ok()) {
     stats->reused_files = true;
   } else {
+    storage_.reset();
     std::vector<int32_t> docid_col(num_postings_);
     std::vector<int32_t> tf_col(num_postings_);
     std::vector<uint64_t> fill(vocab);
@@ -249,6 +349,9 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
     }
     X100IR_RETURN_IF_ERROR(
         EncodeAndPersist(dir, fingerprint, docid_col, tf_col));
+    // A fresh build must attach cleanly — failure here is a real error,
+    // not a rebuild trigger.
+    if (!dir.empty()) X100IR_RETURN_IF_ERROR(AttachStorage(dir, storage));
   }
   stats->num_postings = num_postings_;
   stats->build_seconds = timer.ElapsedSeconds();

@@ -22,16 +22,38 @@
 #include "common/status.h"
 #include "ir/corpus.h"
 #include "ir/index_meta.h"
+#include "storage/buffer_manager.h"
+#include "storage/column_reader.h"
 #include "vec/mem_source.h"
 
 namespace x100ir::ir {
+
+// The storage-backed face of the index (Table 2 runs): every persisted
+// column opened through one buffer pool over one simulated disk. Owned by
+// the InvertedIndex when it was built with a directory; absent (and the
+// storage-era RunTypes unavailable) for in-memory-only indexes.
+struct IndexStorage {
+  storage::SimulatedDisk disk;
+  std::unique_ptr<storage::BufferManager> pool;
+  storage::ColumnReader docid_raw;
+  storage::ColumnReader tf_raw;
+  storage::ColumnReader docid_compressed;
+  storage::ColumnReader tf_compressed;
+  storage::ColumnReader score_f32;
+  storage::ColumnReader score_q8;
+};
 
 class InvertedIndex {
  public:
   // Builds (or reloads, see above) the index. `dir` empty = in-memory only.
   // The corpus must outlive the index (doclen and stats are shared).
+  // With a directory, every persisted column (raw, compressed, and the
+  // materialized f32/q8 score columns) is additionally opened through a
+  // buffer pool configured by `storage` — any open/validation failure
+  // (torn writes included) falls back to a clean rebuild.
   Status BuildFromCorpus(const Corpus& corpus, const std::string& dir,
-                         BuildStats* stats);
+                         BuildStats* stats,
+                         const storage::StorageOptions& storage = {});
 
   uint32_t num_docs() const { return num_docs_; }
   uint32_t vocab_size() const {
@@ -64,6 +86,27 @@ class InvertedIndex {
   Status DecodePostings(uint32_t term, std::vector<int32_t>* docids,
                         std::vector<int32_t>* tfs) const;
 
+  // Storage-era surface (null/failing for in-memory-only indexes). The
+  // accessors hand out mutable storage state from a const index: the pool
+  // is a cache, so pinning/eviction never changes what a query observes —
+  // the bit-identity the eviction-stress tests pin.
+  bool has_storage() const { return storage_ != nullptr; }
+  IndexStorage* storage() const { return storage_.get(); }
+  storage::BufferManager* buffer_manager() const {
+    return storage_ == nullptr ? nullptr : storage_->pool.get();
+  }
+  const storage::SimulatedDisk* disk() const {
+    return storage_ == nullptr ? nullptr : &storage_->disk;
+  }
+  // Empties the buffer pool — the Table 2 cold-run reset. Fails without
+  // storage or with pins outstanding.
+  Status EvictAll() const;
+
+  // Build-time BM25 parameters baked into the materialized score columns
+  // (the TCM/TCMQ8 runs score with these).
+  static constexpr float kMaterializedK1 = 1.2f;
+  static constexpr float kMaterializedB = 0.75f;
+
  private:
   // Loads the compressed column files from a fingerprint-matched dir; any
   // failure (missing, truncated, corrupt) means "rebuild", not "error".
@@ -71,6 +114,14 @@ class InvertedIndex {
   Status EncodeAndPersist(const std::string& dir, uint64_t corpus_fingerprint,
                           const std::vector<int32_t>& docid_col,
                           const std::vector<int32_t>& tf_col);
+  // Computes the per-posting BM25 score column (build-time parameters) and
+  // writes the f32 + quantized files.
+  Status MaterializeScores(const std::string& dir,
+                           const std::vector<int32_t>& docid_col,
+                           const std::vector<int32_t>& tf_col) const;
+  // Opens every persisted column through a fresh pool; failure = rebuild.
+  Status AttachStorage(const std::string& dir,
+                       const storage::StorageOptions& opts);
 
   uint32_t num_docs_ = 0;
   uint64_t num_postings_ = 0;
@@ -80,6 +131,7 @@ class InvertedIndex {
   std::vector<int32_t> doc_lens_;
   std::unique_ptr<vec::BlockVectorSource> docid_source_;
   std::unique_ptr<vec::BlockVectorSource> tf_source_;
+  std::unique_ptr<IndexStorage> storage_;
 };
 
 }  // namespace x100ir::ir

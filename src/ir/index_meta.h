@@ -22,9 +22,10 @@ namespace x100ir::ir {
 
 // Column file names under the index directory. "raw" files are plain int32
 // arrays behind a ColumnFileHeader; "pfor*" files hold one compressed block
-// (compress/codec.h) behind the same header. Score columns are written by
-// the materialization runs (a later PR) — named here so the layout is
-// complete.
+// (compress/codec.h) behind the same header; the score files carry the
+// materialized per-posting BM25 contributions (f32, and 8-bit quantized
+// with stored scale/bias) that the BM25TCM/BM25TCMQ8 runs scan instead of
+// recomputing scores.
 inline constexpr char kDocidRawFile[] = "td_docid_raw.col";
 inline constexpr char kDocidCompressedFile[] = "td_docid_pfordelta.col";
 inline constexpr char kTfRawFile[] = "td_tf_raw.col";
@@ -33,12 +34,18 @@ inline constexpr char kScoreF32File[] = "td_score_f32.col";
 inline constexpr char kScoreQ8File[] = "td_score_q8.col";
 inline constexpr char kIndexMetaFile[] = "index.meta";
 
-// Every column file starts with this header.
+// Every column file starts with this header. storage::ColumnReader (the
+// buffer-pool-backed access path) consumes this same layout, so the format
+// is defined once, here with the rest of the TD schema.
 struct ColumnFileHeader {
   static constexpr uint32_t kMagic = 0x58434F4C;  // "XCOL"
   enum Encoding : uint32_t {
-    kRawI32 = 0,        // payload: value_count * int32
+    kRawI32 = 0,           // payload: value_count * int32
     kCompressedBlock = 1,  // payload: one self-describing codec block
+    kRawF32 = 2,           // payload: value_count * float (materialized
+                           // BM25 score column, kScoreF32File)
+    kQuantU8 = 3,          // payload: Q8Params, then value_count * uint8;
+                           // value = bias + scale * q (kScoreQ8File)
   };
 
   uint32_t magic = kMagic;
@@ -46,12 +53,27 @@ struct ColumnFileHeader {
   uint64_t value_count = 0;
 };
 
+// Quantization parameters of a kQuantU8 column, stored at the head of its
+// payload. scale/bias map the full u8 range onto [min, max] of the source
+// column: q = round((v - bias) / scale), so every dequantized value is
+// within scale/2 of the original — the bound the quantization tests pin.
+struct Q8Params {
+  float scale = 1.0f;
+  float bias = 0.0f;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(Q8Params) == 16, "packed q8 params");
+
 // index.meta payload: identifies which corpus the column files were built
 // from. Everything else (term ranges, doclens, idf) is recomputed from the
 // corpus, which is itself deterministic.
 struct IndexMetaHeader {
   static constexpr uint32_t kMagic = 0x5844584D;  // "XDXM"
-  static constexpr uint32_t kVersion = 1;
+  // v2: the index directory additionally carries the materialized score
+  // columns (kScoreF32File/kScoreQ8File). Bumping the version makes every
+  // pre-storage directory read as "rebuild" instead of "reuse without
+  // score columns".
+  static constexpr uint32_t kVersion = 2;
 
   uint32_t magic = kMagic;
   uint32_t version = kVersion;

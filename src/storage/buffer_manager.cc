@@ -1,0 +1,148 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace x100ir::storage {
+
+BufferManager::BufferManager(uint64_t pool_bytes, SimulatedDisk* disk,
+                             uint32_t page_bytes)
+    : pool_bytes_(pool_bytes),
+      page_bytes_(page_bytes == 0 ? 1 : page_bytes),
+      disk_(disk) {}
+
+Status BufferManager::RegisterFile(uint32_t file_id, const File* file) {
+  if (file == nullptr || !file->is_open()) {
+    return InvalidArgument("cannot register an unopened file");
+  }
+  if (file_id >= (1u << 24)) {
+    return InvalidArgument("file id too large for the page key");
+  }
+  auto it = files_.find(file_id);
+  if (it != files_.end()) {
+    // The id is being rebound (index rebuild): resident pages of the old
+    // file are stale. They must all be unpinned — nobody can legitimately
+    // hold a pin into a file being replaced.
+    for (auto fit = frames_.begin(); fit != frames_.end();) {
+      if ((fit->first >> 40) == file_id) {
+        if (fit->second.refcount != 0) {
+          return FailedPrecondition(
+              "re-registering a file with pinned pages");
+        }
+        if (fit->second.in_lru) lru_.erase(fit->second.lru_pos);
+        resident_bytes_ -= fit->second.data.size();
+        fit = frames_.erase(fit);
+      } else {
+        ++fit;
+      }
+    }
+  }
+  files_[file_id] = file;
+  return OkStatus();
+}
+
+Status BufferManager::Pin(uint32_t file_id, uint64_t page_no,
+                          const uint8_t** data, uint32_t* len) {
+  if (data == nullptr || len == nullptr) {
+    return InvalidArgument("null pin output");
+  }
+  auto fit = files_.find(file_id);
+  if (fit == files_.end()) {
+    return InvalidArgument(StrFormat("unregistered file id %u", file_id));
+  }
+  const uint64_t key = Key(file_id, page_no);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    ++stats_.hits;
+    if (frame.refcount == 0) {
+      if (frame.in_lru) {
+        lru_.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      ++pinned_pages_;
+    }
+    ++frame.refcount;
+    *data = frame.data.data();
+    *len = static_cast<uint32_t>(frame.data.size());
+    return OkStatus();
+  }
+
+  // Miss: size the page against the file, make room, fetch.
+  uint64_t file_size = 0;
+  X100IR_RETURN_IF_ERROR(fit->second->Size(&file_size));
+  const uint64_t off = page_no * static_cast<uint64_t>(page_bytes_);
+  if (off >= file_size) {
+    return InvalidArgument(
+        StrFormat("page %llu past end of file %u",
+                  static_cast<unsigned long long>(page_no), file_id));
+  }
+  const uint32_t page_len = static_cast<uint32_t>(
+      std::min<uint64_t>(page_bytes_, file_size - off));
+
+  while (resident_bytes_ + page_len > pool_bytes_) {
+    if (lru_.empty()) {
+      return ResourceExhausted(StrFormat(
+          "buffer pool exhausted: %llu bytes resident are all pinned, "
+          "%u more needed (pool %llu)",
+          static_cast<unsigned long long>(resident_bytes_), page_len,
+          static_cast<unsigned long long>(pool_bytes_)));
+    }
+    const uint64_t victim = lru_.front();
+    lru_.pop_front();
+    auto vit = frames_.find(victim);
+    resident_bytes_ -= vit->second.data.size();
+    frames_.erase(vit);
+    ++stats_.evictions;
+  }
+
+  Frame& frame = frames_[key];
+  frame.data.resize(page_len);
+  Status read = fit->second->ReadAt(off, page_len, frame.data.data());
+  if (!read.ok()) {
+    // Drop the half-built frame: leaving it resident would make the next
+    // Pin a "hit" on never-filled bytes.
+    frames_.erase(key);
+    return read;
+  }
+  if (disk_ != nullptr) disk_->Charge(page_len);
+  ++stats_.misses;
+  stats_.bytes_fetched += page_len;
+  resident_bytes_ += page_len;
+  frame.refcount = 1;
+  frame.in_lru = false;
+  ++pinned_pages_;
+  *data = frame.data.data();
+  *len = page_len;
+  return OkStatus();
+}
+
+void BufferManager::Unpin(uint32_t file_id, uint64_t page_no) {
+  auto it = frames_.find(Key(file_id, page_no));
+  if (it == frames_.end() || it->second.refcount == 0) {
+    // Unbalanced unpin: a caller bug. Loud in debug, harmless in release.
+    assert(false && "unpin of an unpinned page");
+    return;
+  }
+  Frame& frame = it->second;
+  if (--frame.refcount == 0) {
+    --pinned_pages_;
+    frame.lru_pos = lru_.insert(lru_.end(), it->first);
+    frame.in_lru = true;
+  }
+}
+
+Status BufferManager::EvictAll() {
+  if (pinned_pages_ != 0) {
+    return FailedPrecondition(StrFormat(
+        "EvictAll with %llu pages still pinned",
+        static_cast<unsigned long long>(pinned_pages_)));
+  }
+  frames_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+  return OkStatus();
+}
+
+}  // namespace x100ir::storage

@@ -1,0 +1,58 @@
+// Adapts a storage-backed column range to vec::VectorSource, so the same
+// relational plans (Scan → score → union → top-k) run unchanged over cold
+// storage — the paper's flexibility claim, and the data path of the
+// Table 2 second-pass runs.
+//
+// VectorSource::Read cannot report failure, but a pool access can fail
+// (e.g. pool smaller than the pinned working set). The adapter latches the
+// first error and zero-fills all further reads — downstream operators see
+// well-defined values, and the engine checks status() after the plan runs
+// so a failed query surfaces as an error, never as garbage results.
+#ifndef X100IR_STORAGE_COLUMN_SOURCE_H_
+#define X100IR_STORAGE_COLUMN_SOURCE_H_
+
+#include <cstring>
+
+#include "common/status.h"
+#include "storage/column_reader.h"
+#include "vec/scan.h"
+
+namespace x100ir::storage {
+
+class ColumnSliceSource : public vec::VectorSource {
+ public:
+  // A [offset, offset + len) view over `col` (borrowed, must outlive the
+  // source). `type` must match the column's value type: kI32 for raw-i32 /
+  // compressed columns, kF32 for f32 / quantized columns.
+  ColumnSliceSource(ColumnReader* col, uint64_t offset, uint64_t len,
+                    vec::TypeId type)
+      : col_(col), offset_(offset), len_(len), type_(type) {}
+
+  uint64_t size() const override { return len_; }
+  vec::TypeId type() const override { return type_; }
+
+  void Read(uint64_t pos, uint32_t len, void* dst) const override {
+    if (status_.ok()) {
+      status_ = type_ == vec::TypeId::kI32
+                    ? col_->Read(offset_ + pos, len,
+                                 static_cast<int32_t*>(dst))
+                    : col_->ReadF32(offset_ + pos, len,
+                                    static_cast<float*>(dst));
+      if (status_.ok()) return;
+    }
+    std::memset(dst, 0, static_cast<size_t>(len) * vec::kTypeWidth);
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  ColumnReader* col_;
+  uint64_t offset_;
+  uint64_t len_;
+  vec::TypeId type_;
+  mutable Status status_;
+};
+
+}  // namespace x100ir::storage
+
+#endif  // X100IR_STORAGE_COLUMN_SOURCE_H_

@@ -1,0 +1,63 @@
+#include "storage/file.h"
+
+#include <utility>
+
+namespace x100ir::storage {
+
+File& File::operator=(File&& o) noexcept {
+  if (this != &o) {
+    Close();
+    f_ = o.f_;
+    size_ = o.size_;
+    o.f_ = nullptr;
+  }
+  return *this;
+}
+
+Status File::OpenReadOnly(const std::string& path, File* out) {
+  if (out == nullptr) return InvalidArgument("null file");
+  out->Close();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IOError("cannot seek " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return IOError("cannot size " + path);
+  }
+  out->f_ = f;
+  out->size_ = static_cast<uint64_t>(end);
+  return OkStatus();
+}
+
+Status File::Size(uint64_t* out) const {
+  if (f_ == nullptr) return Internal("file not open");
+  *out = size_;
+  return OkStatus();
+}
+
+Status File::ReadAt(uint64_t offset, uint64_t len, void* dst) const {
+  if (f_ == nullptr) return Internal("file not open");
+  if (offset + len > size_ || offset + len < offset) {
+    return InvalidArgument("read past end of file");
+  }
+  if (len == 0) return OkStatus();
+  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return IOError("seek failed");
+  }
+  if (std::fread(dst, len, 1, f_) != 1) return IOError("short read");
+  return OkStatus();
+}
+
+void File::Close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace x100ir::storage

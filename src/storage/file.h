@@ -1,0 +1,44 @@
+// Thin positioned-read file wrapper — the only place storage/ touches the
+// OS. Everything above it (buffer manager, column readers) deals in byte
+// ranges, so the real-I/O seam stays one class wide and the simulated disk
+// cost model (buffer_manager.h) can charge deterministic latencies
+// independent of what the host filesystem actually does.
+#ifndef X100IR_STORAGE_FILE_H_
+#define X100IR_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace x100ir::storage {
+
+class File {
+ public:
+  File() = default;
+  ~File() { Close(); }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& o) noexcept : f_(o.f_), size_(o.size_) { o.f_ = nullptr; }
+  File& operator=(File&& o) noexcept;
+
+  static Status OpenReadOnly(const std::string& path, File* out);
+
+  bool is_open() const { return f_ != nullptr; }
+  Status Size(uint64_t* out) const;
+
+  // Reads exactly [offset, offset + len) into dst; a short read (EOF or
+  // I/O error) is an error, never a partial fill.
+  Status ReadAt(uint64_t offset, uint64_t len, void* dst) const;
+
+  void Close();
+
+ private:
+  std::FILE* f_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace x100ir::storage
+
+#endif  // X100IR_STORAGE_FILE_H_

@@ -492,9 +492,10 @@ TEST_F(GoldenSearchTest, HandlesDuplicateTermsAndErrors) {
   q.terms = {1000};
   EXPECT_FALSE(engine_.Search(q, RunType::kBm25, opts, &r).ok());
 
+  // Storage-era runs need an on-disk index; this engine is in-memory only.
   q.terms = {2};
   const Status s = engine_.Search(q, RunType::kBm25T, opts, &r);
-  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
 }
 
 // The same oracle agreement on a generated corpus, through the Database
