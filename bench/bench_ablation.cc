@@ -118,7 +118,7 @@ int Run() {
                      "search");
       io += result.io_seconds;
     }
-    const storage::BufferStats& stats = *db.buffer_stats();
+    const storage::BufferStats stats = db.buffer_stats();
     pool_table.AddRow(
         {StrFormat("%llu KB", static_cast<unsigned long long>(pool_kb)),
          StrFormat("%.1f%%", 100.0 * stats.HitRate()),

@@ -1,0 +1,71 @@
+// Per-query deadline + cancellation token (DESIGN.md §9.3). A Deadline is
+// created when a query is admitted (so queue wait counts against the
+// budget) and borrowed by the plan via SearchOptions::deadline; the engine
+// calls Check() at vector-batch granularity, so a stuck query surfaces
+// DeadlineExceeded mid-flight with partial stats instead of hanging a
+// worker thread.
+//
+// Thread contract: Check()/expired() may race freely with Cancel() from any
+// other thread (the service cancels in-flight queries at shutdown); the
+// expiry instant itself is immutable after construction. steady_clock, so
+// NTP adjustments can't expire (or resurrect) a query.
+#ifndef X100IR_COMMON_DEADLINE_H_
+#define X100IR_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "common/status.h"
+
+namespace x100ir {
+
+class Deadline {
+ public:
+  // No time limit: Check() only fails after Cancel().
+  Deadline() = default;
+  // Expires `seconds` from now; seconds <= 0 is already expired.
+  explicit Deadline(double seconds)
+      : has_deadline_(true),
+        deadline_(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds))) {}
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+  // Thread-safe, callable from any thread; sticky.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  // OK while live; Unavailable after Cancel() (the query dies with the
+  // service, not with a fake timeout); DeadlineExceeded past the expiry.
+  Status Check() const {
+    if (cancelled()) return Unavailable("query cancelled");
+    if (expired()) return DeadlineExceeded("query deadline exceeded");
+    return OkStatus();
+  }
+
+  // Seconds until expiry; negative once expired, +inf with no deadline.
+  double remaining_seconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_DEADLINE_H_

@@ -1,6 +1,14 @@
 // Deterministic xorshift64* PRNG. Benches and the synthetic-corpus builder
 // must produce bit-identical streams across platforms and stdlib versions,
 // so we avoid <random> entirely.
+//
+// Thread contract (DESIGN.md §9.1): an Rng is single-owner mutable state —
+// one instance per thread or per query, never shared, never global. There
+// is deliberately no process-wide stream: hidden shared state would make a
+// query's draws depend on what other threads did, so concurrent runs could
+// never be bit-identical to their serial oracles (the regression test
+// ServerTest.ConcurrentSearchesBitIdenticalToSerial pins exactly that).
+// Derive per-query streams from one seed with Fork() instead.
 #ifndef X100IR_COMMON_RNG_H_
 #define X100IR_COMMON_RNG_H_
 
@@ -43,6 +51,14 @@ class Rng {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return NextDouble() < p;
+  }
+
+  // Deterministic child stream for query/task `ordinal`: the per-query
+  // Rng of a service seeded once. Does not consume parent state, so
+  // Fork(a) and Fork(b) are order-independent, and the SplitMix64 pass in
+  // the constructor decorrelates consecutive ordinals.
+  Rng Fork(uint64_t ordinal) const {
+    return Rng(state_ ^ (0xA5A5A5A5DEADBEEFull + ordinal));
   }
 
  private:

@@ -20,6 +20,12 @@ enum class StatusCode {
   kUnimplemented,
   kFailedPrecondition,
   kResourceExhausted,
+  // A per-query deadline expired (or the query was cancelled) mid-flight.
+  kDeadlineExceeded,
+  // The operation failed transiently (injected or real fault, service
+  // refusing under the degradation ladder) — retrying may succeed. The
+  // only code the storage retry loop treats as retryable.
+  kUnavailable,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -42,6 +48,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -95,6 +105,19 @@ inline Status FailedPrecondition(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+
+// Fault classification (DESIGN.md §9.4): only Unavailable is transient.
+// Everything else — IOError (torn/corrupt page), Internal, ... — is
+// permanent and must fail the query instead of burning its retry budget.
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
 }
 
 // Status-or-value return type for factory functions (CompiledExpr::Compile,

@@ -1,0 +1,93 @@
+// Fixed-size worker pool: the execution substrate of server::QueryService
+// (admission control — the *bounded* queue — lives there; this queue is
+// unbounded by design so Submit never blocks a caller that was already
+// admitted) and of any future scatter-gather layer (dist/).
+//
+// Thread contract: Submit is safe from any thread, including from inside a
+// task. Shutdown drains — queued tasks still run — then joins; Submit
+// after Shutdown is a caller bug and asserts. Header-only so leaf users
+// don't grow a .cc dependency.
+#ifndef X100IR_COMMON_THREAD_POOL_H_
+#define X100IR_COMMON_THREAD_POOL_H_
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace x100ir {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      assert(!shutdown_ && "Submit after Shutdown");
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  // Tasks queued so far but not yet picked up by a worker.
+  size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  // Stops accepting work, runs everything already queued, joins. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace x100ir
+
+#endif  // X100IR_COMMON_THREAD_POOL_H_

@@ -15,7 +15,7 @@ Status Database::Open(const DatabaseOptions& options) {
 
 Status Database::Search(const ir::Query& query, ir::RunType type,
                         const ir::SearchOptions& opts,
-                        ir::SearchResult* result) {
+                        ir::SearchResult* result) const {
   if (!open_) return InvalidArgument("database is not open");
   return engine_.Search(query, type, opts, result);
 }

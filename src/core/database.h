@@ -39,20 +39,27 @@ class Database {
   // again (rebuilds against the new options).
   Status Open(const DatabaseOptions& options);
 
-  // Runs one query; fails before Open. See ir::SearchEngine::Search.
+  // Runs one query; fails before Open. Const and thread-safe after Open
+  // (DESIGN.md §9.1): the index is immutable, the engine is stateless per
+  // query, and the buffer pool is lock-striped — any number of threads may
+  // Search one open Database concurrently.
   Status Search(const ir::Query& query, ir::RunType type,
-                const ir::SearchOptions& opts, ir::SearchResult* result);
+                const ir::SearchOptions& opts,
+                ir::SearchResult* result) const;
 
   bool is_open() const { return open_; }
   const ir::Corpus& corpus() const { return corpus_; }
   const ir::InvertedIndex* index() const { return &index_; }
   const ir::BuildStats& build_stats() const { return build_stats_; }
 
-  // Storage-layer telemetry (null for in-memory-only databases): buffer
-  // pool hit/miss/eviction counters and the simulated disk's I/O totals.
-  const storage::BufferStats* buffer_stats() const {
-    return index_.has_storage() ? &index_.buffer_manager()->stats()
-                                : nullptr;
+  // Storage-layer telemetry: buffer pool hit/miss/eviction counters,
+  // aggregated across the pool's lock stripes (a snapshot by value — there
+  // is no single stats object once the pool is striped). All-zero for
+  // in-memory-only databases; has_storage() disambiguates.
+  bool has_storage() const { return index_.has_storage(); }
+  storage::BufferStats buffer_stats() const {
+    return index_.has_storage() ? index_.buffer_manager()->stats()
+                                : storage::BufferStats{};
   }
   const storage::SimulatedDisk* disk() const { return index_.disk(); }
 

@@ -241,7 +241,8 @@ Status InvertedIndex::AttachStorage(const std::string& dir,
   auto st = std::make_unique<IndexStorage>();
   st->disk = storage::SimulatedDisk(opts.disk);
   st->pool = std::make_unique<storage::BufferManager>(
-      opts.pool_bytes, &st->disk, opts.page_bytes);
+      opts.pool_bytes, &st->disk, opts.page_bytes, opts.shards);
+  st->pool->set_retry_policy(opts.retry);
   struct ColumnSpec {
     storage::ColumnReader* reader;
     const char* file;

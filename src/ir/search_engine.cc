@@ -53,7 +53,8 @@ vec::OperatorPtr MakeTermScan(const InvertedIndex& index,
 }  // namespace
 
 Status SearchEngine::Search(const Query& query, RunType type,
-                            const SearchOptions& opts, SearchResult* result) {
+                            const SearchOptions& opts,
+                            SearchResult* result) const {
   if (result == nullptr) return InvalidArgument("null search result");
   if (index_ == nullptr) return InvalidArgument("search engine has no index");
   WallTimer timer;
@@ -97,6 +98,11 @@ Status SearchEngine::Search(const Query& query, RunType type,
     result->seconds = timer.ElapsedSeconds();
     return OkStatus();
   }
+  // A query admitted past its deadline (queue wait ate the budget) fails
+  // here, before any plan is built.
+  if (opts.deadline != nullptr) {
+    X100IR_RETURN_IF_ERROR(opts.deadline->Check());
+  }
 
   Status s;
   switch (type) {
@@ -130,9 +136,10 @@ Status SearchEngine::Search(const Query& query, RunType type,
 
 Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
                                 bool conjunctive, const SearchOptions& opts,
-                                SearchResult* result) {
+                                SearchResult* result) const {
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
+  ctx.rng = Rng(opts.rng_seed);
   vec::OperatorPtr root;
   if (conjunctive && opts.streaming_and) {
     // Streaming skip join: cursors rarest-first so the shortest list
@@ -170,6 +177,16 @@ Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
   X100IR_RETURN_IF_ERROR(root->Open());
   vec::Batch* b = nullptr;
   for (;;) {
+    // Deadline checkpoint: once per batch (§9.3), so an expiring query
+    // surfaces within one vector's worth of work, with its partial stats.
+    if (opts.deadline != nullptr) {
+      Status live = opts.deadline->Check();
+      if (!live.ok()) {
+        root->Close();
+        result->stats = ctx.stats;
+        return live;
+      }
+    }
     X100IR_RETURN_IF_ERROR(root->Next(&b));
     if (b == nullptr) break;
     const int32_t* docids = b->columns[0]->Data<int32_t>();
@@ -188,9 +205,10 @@ Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
 
 Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
                                 const SearchOptions& opts,
-                                SearchResult* result) {
+                                SearchResult* result) const {
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
+  ctx.rng = Rng(opts.rng_seed);
   const float inv_avgdl =
       index_->avg_doc_len() > 0.0
           ? static_cast<float>(1.0 / index_->avg_doc_len())
@@ -213,6 +231,15 @@ Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
   X100IR_RETURN_IF_ERROR(root->Open());
   vec::Batch* b = nullptr;
   for (;;) {
+    if (opts.deadline != nullptr) {
+      Status live = opts.deadline->Check();
+      if (!live.ok()) {
+        result->num_matches = topk_raw->rows_consumed();
+        root->Close();
+        result->stats = ctx.stats;
+        return live;
+      }
+    }
     X100IR_RETURN_IF_ERROR(root->Next(&b));
     if (b == nullptr) break;
     const int32_t* docids = b->columns[0]->Data<int32_t>();
@@ -274,9 +301,10 @@ struct MsTerm {
 
 Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
                                         const SearchOptions& opts,
-                                        SearchResult* result) {
+                                        SearchResult* result) const {
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
+  ctx.rng = Rng(opts.rng_seed);
   X100IR_RETURN_IF_ERROR(ctx.Validate());
   const uint32_t vsize = ctx.vector_size;
   const float k1 = opts.bm25.k1;
@@ -349,7 +377,28 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
   uint64_t candidates = 0;
   size_t ness = 0;  // order[0..ness) are demoted
 
+  // Folds the per-term cursor stats into ctx.stats — shared by the normal
+  // exit and the deadline bail-out, so a DeadlineExceeded result still
+  // reports everything the query actually did.
+  const auto fold_stats = [&] {
+    result->num_matches = candidates;
+    for (MsTerm& ts : states) {
+      ts.stream.FoldStats(&ctx.stats);
+      if (ts.demoted) ts.probe.FoldStats(&ctx.stats);
+      ctx.stats.tf_windows_decoded += ts.tf_reader.windows_decoded();
+    }
+    result->stats = ctx.stats;
+  };
+
   for (;;) {
+    // Deadline checkpoint: once per candidate vector (§9.3).
+    if (opts.deadline != nullptr) {
+      Status live = opts.deadline->Check();
+      if (!live.ok()) {
+        fold_stats();
+        return live;
+      }
+    }
     const float theta = topk.threshold();
     // Re-partition between vectors: θ only grows, so demotion is one-way.
     while (ness < m && prefix[ness] < theta) {
@@ -431,13 +480,7 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
   }
 
   topk.FinishSorted(&result->docids, &result->scores);
-  result->num_matches = candidates;
-  for (MsTerm& ts : states) {
-    ts.stream.FoldStats(&ctx.stats);
-    if (ts.demoted) ts.probe.FoldStats(&ctx.stats);
-    ctx.stats.tf_windows_decoded += ts.tf_reader.windows_decoded();
-  }
-  result->stats = ctx.stats;
+  fold_stats();
   return OkStatus();
 }
 

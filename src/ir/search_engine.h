@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "ir/index_builder.h"
 #include "ir/query_gen.h"
@@ -101,6 +102,15 @@ struct SearchOptions {
   // high (everything selective) or to 1 (everything long → always a full
   // second pass).
   uint32_t twopass_df_cutoff = 0;
+
+  // Borrowed per-query deadline/cancellation token (DESIGN.md §9.3), or
+  // nullptr for no limit. The engine checks it at vector-batch granularity
+  // and returns DeadlineExceeded with the stats accumulated so far — a
+  // partial result is reported as a failure, never as a short answer.
+  const Deadline* deadline = nullptr;
+  // Seed for the query's private ExecContext::rng stream. The engine never
+  // draws from global state, so any fixed seed gives a reproducible query.
+  uint64_t rng_seed = 0;
 };
 
 struct SearchResult {
@@ -144,20 +154,28 @@ class SearchEngine {
 
   // Runs one query. Builds the plan, executes it, fills `result`
   // (overwritten), and records wall time in result->seconds.
+  //
+  // Const and thread-safe (DESIGN.md §9.1): the engine holds no per-query
+  // state — every query builds its own plan over the immutable index, all
+  // scratch lives in the per-query ExecContext, and the storage path goes
+  // through the thread-safe buffer pool. Any number of threads may Search
+  // through one engine concurrently.
   Status Search(const Query& query, RunType type, const SearchOptions& opts,
-                SearchResult* result);
+                SearchResult* result) const;
 
  private:
   Status SearchBool(const std::vector<uint32_t>& terms, bool conjunctive,
-                    const SearchOptions& opts, SearchResult* result);
+                    const SearchOptions& opts, SearchResult* result) const;
   Status SearchBm25(const std::vector<uint32_t>& terms,
-                    const SearchOptions& opts, SearchResult* result);
+                    const SearchOptions& opts, SearchResult* result) const;
   Status SearchBm25MaxScore(const std::vector<uint32_t>& terms,
-                            const SearchOptions& opts, SearchResult* result);
+                            const SearchOptions& opts,
+                            SearchResult* result) const;
   // The storage-era two-pass runs (storage_runs.cc): BM25T/TC/TCM/TCMQ8
   // over pool-served cold columns. Requires index_->has_storage().
   Status SearchColdRun(RunType type, const std::vector<uint32_t>& terms,
-                       const SearchOptions& opts, SearchResult* result);
+                       const SearchOptions& opts,
+                       SearchResult* result) const;
 
   const InvertedIndex* index_ = nullptr;
 };

@@ -156,11 +156,12 @@ struct ColdTerm {
 Status SearchEngine::SearchColdRun(RunType type,
                                    const std::vector<uint32_t>& terms,
                                    const SearchOptions& opts,
-                                   SearchResult* result) {
+                                   SearchResult* result) const {
   IndexStorage* st = index_->storage();
   RunColumns cols = ColumnsFor(type, st, opts);
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
+  ctx.rng = Rng(opts.rng_seed);
   X100IR_RETURN_IF_ERROR(ctx.Validate());
 
   const float inv_avgdl =
@@ -205,6 +206,18 @@ Status SearchEngine::SearchColdRun(RunType type,
   uint64_t windows_skipped = 0;
   bool exact = false;
 
+  // Window-count accounting, shared by the normal exit and the deadline
+  // bail-outs so a DeadlineExceeded result still carries its real stats.
+  // (The reader counters are process-wide totals; under concurrency the
+  // delta is approximate — see column_reader.h.)
+  const auto account_windows = [&] {
+    ctx.stats.windows_decoded += cols.docid->windows_decoded() +
+                                 cols.value->windows_decoded() -
+                                 windows_before;
+    ctx.stats.windows_skipped += windows_skipped;
+    result->stats = ctx.stats;
+  };
+
   if (!shorts.empty()) {
     // ---- Pass 1: evaluate the short lists fully. ----
     for (uint32_t i : shorts) {
@@ -238,7 +251,18 @@ Status SearchEngine::SearchColdRun(RunType type,
     // Merge the short lists in docid order; complete each candidate from
     // the long lists with forward probes, abandoning as soon as the
     // remaining upper bounds cannot reach the live threshold.
+    uint64_t merge_steps = 0;
     for (;;) {
+      // Deadline checkpoint every 128 candidates (§9.3) — the pass-1 merge
+      // is scalar, so per-iteration checks would cost more than the merge.
+      if (opts.deadline != nullptr && (merge_steps++ & 127u) == 0) {
+        Status live = opts.deadline->Check();
+        if (!live.ok()) {
+          result->num_matches = candidates;
+          account_windows();
+          return live;
+        }
+      }
       int32_t d = 0;
       bool any = false;
       for (uint32_t i : shorts) {
@@ -350,6 +374,10 @@ Status SearchEngine::SearchColdRun(RunType type,
     vec::Batch* batch = nullptr;
     Status exec;
     for (;;) {
+      if (opts.deadline != nullptr) {
+        exec = opts.deadline->Check();
+        if (!exec.ok()) break;
+      }
       exec = root->Next(&batch);
       if (!exec.ok() || batch == nullptr) break;
       const int32_t* docids = batch->columns[0]->Data<int32_t>();
@@ -361,7 +389,10 @@ Status SearchEngine::SearchColdRun(RunType type,
     }
     result->num_matches = topk_raw->rows_consumed();
     root->Close();
-    X100IR_RETURN_IF_ERROR(exec);
+    if (!exec.ok()) {
+      account_windows();
+      return exec;
+    }
     // A pool failure inside a VectorSource cannot surface through the
     // void Read interface; it latches in the source and is checked here —
     // a failed query errors out instead of returning zero-filled garbage.
@@ -370,11 +401,7 @@ Status SearchEngine::SearchColdRun(RunType type,
     }
   }
 
-  ctx.stats.windows_decoded += cols.docid->windows_decoded() +
-                               cols.value->windows_decoded() -
-                               windows_before;
-  ctx.stats.windows_skipped += windows_skipped;
-  result->stats = ctx.stats;
+  account_windows();
   return OkStatus();
 }
 

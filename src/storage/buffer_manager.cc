@@ -1,16 +1,27 @@
 #include "storage/buffer_manager.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/string_util.h"
 
 namespace x100ir::storage {
 
 BufferManager::BufferManager(uint64_t pool_bytes, SimulatedDisk* disk,
-                             uint32_t page_bytes)
+                             uint32_t page_bytes, uint32_t shards)
     : pool_bytes_(pool_bytes),
       page_bytes_(page_bytes == 0 ? 1 : page_bytes),
-      disk_(disk) {}
+      disk_(disk) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->budget = pool_bytes / shards;
+  }
+  // The division remainder goes to shard 0 so the budgets sum to the pool;
+  // with shards == 1 that makes the budget exactly pool_bytes.
+  shards_[0]->budget += pool_bytes % shards;
+}
 
 Status BufferManager::RegisterFile(uint32_t file_id, const File* file) {
   if (file == nullptr || !file->is_open()) {
@@ -19,22 +30,33 @@ Status BufferManager::RegisterFile(uint32_t file_id, const File* file) {
   if (file_id >= (1u << 24)) {
     return InvalidArgument("file id too large for the page key");
   }
-  auto it = files_.find(file_id);
-  if (it != files_.end()) {
+  std::lock_guard<std::mutex> files_lock(files_mu_);
+  if (files_.find(file_id) != files_.end()) {
     // The id is being rebound (index rebuild): resident pages of the old
-    // file are stale. They must all be unpinned — nobody can legitimately
-    // hold a pin into a file being replaced.
-    for (auto fit = frames_.begin(); fit != frames_.end();) {
-      if ((fit->first >> 40) == file_id) {
-        if (fit->second.refcount != 0) {
+    // file are stale and must be dropped — atomically across all shards,
+    // so no concurrent Pin can hit a stale frame mid-rebind. They must all
+    // be unpinned first: nobody can legitimately hold a pin into a file
+    // being replaced.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) locks.emplace_back(shard->mu);
+    for (auto& shard : shards_) {
+      for (const auto& [key, frame] : shard->frames) {
+        if ((key >> 40) == file_id && frame.refcount != 0) {
           return FailedPrecondition(
               "re-registering a file with pinned pages");
         }
-        if (fit->second.in_lru) lru_.erase(fit->second.lru_pos);
-        resident_bytes_ -= fit->second.data.size();
-        fit = frames_.erase(fit);
-      } else {
-        ++fit;
+      }
+    }
+    for (auto& shard : shards_) {
+      for (auto fit = shard->frames.begin(); fit != shard->frames.end();) {
+        if ((fit->first >> 40) == file_id) {
+          if (fit->second.in_lru) shard->lru.erase(fit->second.lru_pos);
+          shard->resident_bytes -= fit->second.data.size();
+          fit = shard->frames.erase(fit);
+        } else {
+          ++fit;
+        }
       }
     }
   }
@@ -47,21 +69,30 @@ Status BufferManager::Pin(uint32_t file_id, uint64_t page_no,
   if (data == nullptr || len == nullptr) {
     return InvalidArgument("null pin output");
   }
-  auto fit = files_.find(file_id);
-  if (fit == files_.end()) {
-    return InvalidArgument(StrFormat("unregistered file id %u", file_id));
+  const File* file = nullptr;
+  {
+    std::lock_guard<std::mutex> files_lock(files_mu_);
+    auto fit = files_.find(file_id);
+    if (fit == files_.end()) {
+      return InvalidArgument(StrFormat("unregistered file id %u", file_id));
+    }
+    file = fit->second;
   }
+
   const uint64_t key = Key(file_id, page_no);
-  auto it = frames_.find(key);
-  if (it != frames_.end()) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  auto it = shard.frames.find(key);
+  if (it != shard.frames.end()) {
     Frame& frame = it->second;
-    ++stats_.hits;
+    ++shard.stats.hits;
     if (frame.refcount == 0) {
       if (frame.in_lru) {
-        lru_.erase(frame.lru_pos);
+        shard.lru.erase(frame.lru_pos);
         frame.in_lru = false;
       }
-      ++pinned_pages_;
+      ++shard.pinned_pages;
     }
     ++frame.refcount;
     *data = frame.data.data();
@@ -69,9 +100,11 @@ Status BufferManager::Pin(uint32_t file_id, uint64_t page_no,
     return OkStatus();
   }
 
-  // Miss: size the page against the file, make room, fetch.
+  // Miss: size the page against the file, make room, fetch. The shard lock
+  // is held across the read — a second thread pinning the *same* page must
+  // wait for the fetch anyway, and other shards proceed unblocked.
   uint64_t file_size = 0;
-  X100IR_RETURN_IF_ERROR(fit->second->Size(&file_size));
+  X100IR_RETURN_IF_ERROR(file->Size(&file_size));
   const uint64_t off = page_no * static_cast<uint64_t>(page_bytes_);
   if (off >= file_size) {
     return InvalidArgument(
@@ -81,68 +114,154 @@ Status BufferManager::Pin(uint32_t file_id, uint64_t page_no,
   const uint32_t page_len = static_cast<uint32_t>(
       std::min<uint64_t>(page_bytes_, file_size - off));
 
-  while (resident_bytes_ + page_len > pool_bytes_) {
-    if (lru_.empty()) {
+  while (shard.resident_bytes + page_len > shard.budget) {
+    if (shard.lru.empty()) {
       return ResourceExhausted(StrFormat(
-          "buffer pool exhausted: %llu bytes resident are all pinned, "
-          "%u more needed (pool %llu)",
-          static_cast<unsigned long long>(resident_bytes_), page_len,
-          static_cast<unsigned long long>(pool_bytes_)));
+          "buffer pool shard exhausted: %llu bytes resident are all pinned, "
+          "%u more needed (shard budget %llu)",
+          static_cast<unsigned long long>(shard.resident_bytes), page_len,
+          static_cast<unsigned long long>(shard.budget)));
     }
-    const uint64_t victim = lru_.front();
-    lru_.pop_front();
-    auto vit = frames_.find(victim);
-    resident_bytes_ -= vit->second.data.size();
-    frames_.erase(vit);
-    ++stats_.evictions;
+    const uint64_t victim = shard.lru.front();
+    shard.lru.pop_front();
+    auto vit = shard.frames.find(victim);
+    shard.resident_bytes -= vit->second.data.size();
+    shard.frames.erase(vit);
+    ++shard.stats.evictions;
   }
 
-  Frame& frame = frames_[key];
+  // Fault injection happens at the same point a real device would fail:
+  // after admission control, before any bytes land. A faulted page never
+  // enters the pool, so a later retry re-fetches from scratch.
+  if (FaultPlan* plan = fault_plan()) {
+    switch (plan->Decide(file_id, page_no)) {
+      case FaultKind::kTransientError:
+        ++shard.stats.faults_transient;
+        return Unavailable(StrFormat(
+            "injected transient read error (file %u page %llu)", file_id,
+            static_cast<unsigned long long>(page_no)));
+      case FaultKind::kTornRead:
+        ++shard.stats.faults_torn;
+        return IOError(StrFormat(
+            "injected torn read: page %llu of file %u came back short",
+            static_cast<unsigned long long>(page_no), file_id));
+      case FaultKind::kLatencySpike:
+        if (disk_ != nullptr) {
+          disk_->ChargeLatency(plan->options().latency_spike_seconds);
+        }
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+  }
+
+  Frame& frame = shard.frames[key];
   frame.data.resize(page_len);
-  Status read = fit->second->ReadAt(off, page_len, frame.data.data());
+  Status read = file->ReadAt(off, page_len, frame.data.data());
   if (!read.ok()) {
     // Drop the half-built frame: leaving it resident would make the next
     // Pin a "hit" on never-filled bytes.
-    frames_.erase(key);
+    shard.frames.erase(key);
     return read;
   }
   if (disk_ != nullptr) disk_->Charge(page_len);
-  ++stats_.misses;
-  stats_.bytes_fetched += page_len;
-  resident_bytes_ += page_len;
+  ++shard.stats.misses;
+  shard.stats.bytes_fetched += page_len;
+  shard.resident_bytes += page_len;
   frame.refcount = 1;
   frame.in_lru = false;
-  ++pinned_pages_;
+  ++shard.pinned_pages;
   *data = frame.data.data();
   *len = page_len;
   return OkStatus();
 }
 
 void BufferManager::Unpin(uint32_t file_id, uint64_t page_no) {
-  auto it = frames_.find(Key(file_id, page_no));
-  if (it == frames_.end() || it->second.refcount == 0) {
+  const uint64_t key = Key(file_id, page_no);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(key);
+  if (it == shard.frames.end() || it->second.refcount == 0) {
     // Unbalanced unpin: a caller bug. Loud in debug, harmless in release.
     assert(false && "unpin of an unpinned page");
     return;
   }
   Frame& frame = it->second;
   if (--frame.refcount == 0) {
-    --pinned_pages_;
-    frame.lru_pos = lru_.insert(lru_.end(), it->first);
+    --shard.pinned_pages;
+    frame.lru_pos = shard.lru.insert(shard.lru.end(), it->first);
     frame.in_lru = true;
   }
 }
 
 Status BufferManager::EvictAll() {
-  if (pinned_pages_ != 0) {
+  // All-shard operation: take every shard lock in ascending index order
+  // (the only order shard locks are ever held together, per §9.2), verify
+  // nothing is pinned anywhere, then clear atomically.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  uint64_t pinned = 0;
+  for (auto& shard : shards_) pinned += shard->pinned_pages;
+  if (pinned != 0) {
     return FailedPrecondition(StrFormat(
         "EvictAll with %llu pages still pinned",
-        static_cast<unsigned long long>(pinned_pages_)));
+        static_cast<unsigned long long>(pinned)));
   }
-  frames_.clear();
-  lru_.clear();
-  resident_bytes_ = 0;
+  for (auto& shard : shards_) {
+    shard->frames.clear();
+    shard->lru.clear();
+    shard->resident_bytes = 0;
+  }
   return OkStatus();
+}
+
+BufferStats BufferManager::stats() const {
+  BufferStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.bytes_fetched += shard->stats.bytes_fetched;
+    total.faults_transient += shard->stats.faults_transient;
+    total.faults_torn += shard->stats.faults_torn;
+  }
+  return total;
+}
+
+void BufferManager::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = BufferStats{};
+  }
+}
+
+uint64_t BufferManager::resident_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->resident_bytes;
+  }
+  return total;
+}
+
+uint64_t BufferManager::resident_pages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+uint64_t BufferManager::pinned_pages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pinned_pages;
+  }
+  return total;
 }
 
 }  // namespace x100ir::storage

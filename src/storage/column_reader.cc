@@ -115,6 +115,23 @@ bool ColumnReader::is_compressed() const {
   return encoding_ == ColumnFileHeader::kCompressedBlock;
 }
 
+// Classified retry (DESIGN.md §9.4): only Unavailable — the code the fault
+// injector uses for transient read errors — is retried, with doubling
+// backoff charged to the simulated disk (deterministic, never a real
+// sleep). Torn reads (IOError), pool exhaustion, and everything else fail
+// the query on the first attempt. Each retry is a fresh fetch: a faulted
+// page never entered the pool, so no poisoned frame can be re-served.
+Status ColumnReader::PinWithRetry(PinnedPage* pin, uint64_t page_no) {
+  const RetryPolicy& retry = bm_->retry_policy();
+  double backoff = retry.backoff_seconds;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = pin->Acquire(bm_, file_id_, page_no);
+    if (s.ok() || !IsTransient(s) || attempt >= retry.budget) return s;
+    if (bm_->disk() != nullptr) bm_->disk()->ChargeLatency(backoff);
+    backoff *= 2.0;
+  }
+}
+
 Status ColumnReader::FetchBytes(uint64_t offset, uint64_t len,
                                 uint8_t* dst) {
   if (offset + len > file_size_) {
@@ -125,7 +142,7 @@ Status ColumnReader::FetchBytes(uint64_t offset, uint64_t len,
     const uint64_t page_no = offset / page_bytes;
     const uint64_t in_page = offset - page_no * page_bytes;
     PinnedPage pin;
-    X100IR_RETURN_IF_ERROR(pin.Acquire(bm_, file_id_, page_no));
+    X100IR_RETURN_IF_ERROR(PinWithRetry(&pin, page_no));
     const uint64_t take = std::min<uint64_t>(len, pin.len() - in_page);
     std::memcpy(dst, pin.data() + in_page, take);
     dst += take;
@@ -153,8 +170,11 @@ Status ColumnReader::DecodeWindow(uint32_t w, int32_t* dst, uint32_t* wn) {
   if (w >= decoder_.entry_count()) {
     return InvalidArgument("window index out of range");
   }
+  // Stack scratch, not a member: DecodeWindow races with itself across
+  // queries sharing this reader (§9.1), so per-call state stays per-call.
+  alignas(8) uint8_t payload_scratch[4 * compress::kEntryPointStride + 8];
   const compress::WindowExtent ext = decoder_.WindowExtentOf(w);
-  if (ext.payload_bytes > sizeof(payload_scratch_) - 8) {
+  if (ext.payload_bytes > sizeof(payload_scratch) - 8) {
     return Internal("window extent exceeds scratch (corrupt metadata)");
   }
   const uint64_t exc_rel = ext.exc_offset - exc_section_offset_;
@@ -162,13 +182,13 @@ Status ColumnReader::DecodeWindow(uint32_t w, int32_t* dst, uint32_t* wn) {
     return Internal("window exception range outside the resident section");
   }
   X100IR_RETURN_IF_ERROR(FetchBytes(payload_offset_ + ext.payload_offset,
-                                    ext.payload_bytes, payload_scratch_));
+                                    ext.payload_bytes, payload_scratch));
   // Zero the unaligned-load slack past the payload (the decode kernels may
   // read up to 8 bytes beyond the last codeword).
-  std::memset(payload_scratch_ + ext.payload_bytes, 0, 8);
-  decoder_.DecodeWindowDetached(w, payload_scratch_,
+  std::memset(payload_scratch + ext.payload_bytes, 0, 8);
+  decoder_.DecodeWindowDetached(w, payload_scratch,
                                 exc_section_.data() + exc_rel, dst);
-  ++windows_decoded_;
+  windows_decoded_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t base =
       static_cast<uint64_t>(w) * compress::kEntryPointStride;
   *wn = static_cast<uint32_t>(
@@ -217,11 +237,13 @@ Status ColumnReader::ReadF32(uint64_t pos, uint32_t len, float* dst) {
   if (encoding_ != ColumnFileHeader::kQuantU8) {
     return Internal("ReadF32 on a non-float column");
   }
-  byte_buf_.resize(len);
+  // Local staging (not a member buffer): concurrent ReadF32 calls on the
+  // shared reader must not stomp each other's bytes.
+  std::vector<uint8_t> bytes(len);
   X100IR_RETURN_IF_ERROR(
-      FetchBytes(payload_offset_ + pos, len, byte_buf_.data()));
+      FetchBytes(payload_offset_ + pos, len, bytes.data()));
   for (uint32_t i = 0; i < len; ++i) {
-    dst[i] = q8_bias_ + q8_scale_ * static_cast<float>(byte_buf_[i]);
+    dst[i] = q8_bias_ + q8_scale_ * static_cast<float>(bytes[i]);
   }
   return OkStatus();
 }

@@ -18,11 +18,26 @@
 //
 // Open validates the header against the *exact* file size before trusting
 // anything (torn-write safety: a truncated or grown file fails loudly here
-// and the index builder falls back to a rebuild). Readers are
-// single-threaded like the rest of a plan.
+// and the index builder falls back to a rebuild).
+//
+// Thread contract (DESIGN.md §9.1): after Open, one ColumnReader is shared
+// by every concurrent query — Read/ReadF32/DecodeWindow keep all mutable
+// state on the caller's stack and go through the thread-safe buffer pool,
+// so they may race freely. The only member that moves is the
+// windows_decoded_ telemetry counter (relaxed atomic: exact in total,
+// approximate as a per-query delta under concurrency — the serial Table 2
+// harness still reads exact deltas). SortedColumnCursor, by contrast, is
+// per-query state: create one per query, never share it.
+//
+// Transient page faults (storage/fault_injection.h) are retried here, in
+// FetchBytes — the single funnel every byte passes through — with a
+// classified retry loop: Unavailable retries up to RetryPolicy::budget
+// with doubling backoff charged to the simulated disk; any other failure
+// (torn read -> IOError, pool exhaustion) propagates unchanged.
 #ifndef X100IR_STORAGE_COLUMN_READER_H_
 #define X100IR_STORAGE_COLUMN_READER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -68,11 +83,18 @@ class ColumnReader {
   Status DecodeWindow(uint32_t w, int32_t* dst, uint32_t* wn);
 
   // Cumulative windows decoded (compressed columns) — ExecStats deltas.
-  uint64_t windows_decoded() const { return windows_decoded_; }
+  // Relaxed atomic: totals are exact, concurrent per-query deltas are not.
+  uint64_t windows_decoded() const {
+    return windows_decoded_.load(std::memory_order_relaxed);
+  }
 
  private:
-  // Copies file bytes [offset, offset + len) out of pinned pages.
+  // Copies file bytes [offset, offset + len) out of pinned pages,
+  // retrying transient faults per the pool's RetryPolicy.
   Status FetchBytes(uint64_t offset, uint64_t len, uint8_t* dst);
+
+  // One pin attempt with the classified retry loop around it.
+  Status PinWithRetry(PinnedPage* pin, uint64_t page_no);
 
   File file_;
   uint32_t file_id_ = 0;
@@ -84,15 +106,14 @@ class ColumnReader {
   float q8_scale_ = 0.0f;
   float q8_bias_ = 0.0f;
 
-  // Compressed columns: resident codec metadata + exception section +
-  // decode scratch.
+  // Compressed columns: resident codec metadata + exception section. All
+  // of it is immutable after Open; decode scratch lives on the stack of
+  // each call so concurrent queries never share a buffer.
   std::vector<uint8_t> block_meta_;
   std::vector<uint8_t> exc_section_;
   uint64_t exc_section_offset_ = 0;  // block-relative
   compress::BlockDecoder decoder_;
-  uint64_t windows_decoded_ = 0;
-  alignas(8) uint8_t payload_scratch_[4 * compress::kEntryPointStride + 8];
-  std::vector<uint8_t> byte_buf_;  // q8 staging
+  std::atomic<uint64_t> windows_decoded_{0};
 };
 
 // Forward cursor over a *sorted* sub-range [begin, end) of an i32 column —

@@ -1,0 +1,114 @@
+// Seeded, deterministic disk-fault injection (DESIGN.md §9.4). A FaultPlan
+// is attached to a BufferManager and consulted once per page *fetch
+// attempt* (pool hits never fault — the data is already resident, like a
+// real page cache). Each attempt draws from a counter-indexed hash of
+// (seed, file, page, attempt ordinal), so:
+//
+//   - a given single-threaded call sequence faults identically on every
+//     run (the unit battery replays exact fault sites);
+//   - a retry of the same page is a *fresh* draw (transient faults clear
+//     with probability 1 - rate, which is what makes retry-with-backoff
+//     converge);
+//   - under concurrency the ordinal interleaving varies, but fault sites
+//     remain per-attempt independent — the soak's invariant is outcome
+//     classification + OK bit-identity, not which queries got hit.
+//
+// Fault classification (see common/status.h IsTransient):
+//   transient read error -> Unavailable   (retryable: ColumnReader retries
+//                                          with simulated backoff)
+//   torn short-read      -> IOError       (permanent: the page never
+//                                          enters the pool, the query
+//                                          fails cleanly)
+//   latency spike        -> no error      (extra seconds charged to the
+//                                          simulated disk; surfaces as a
+//                                          slow query the deadline layer
+//                                          must catch)
+#ifndef X100IR_STORAGE_FAULT_INJECTION_H_
+#define X100IR_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace x100ir::storage {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kTransientError,  // fails this attempt; a retry draws fresh
+  kTornRead,        // permanent for the query: short page, not poolable
+  kLatencySpike,    // succeeds, but charges extra simulated latency
+};
+
+struct FaultPlanOptions {
+  uint64_t seed = 1;
+  // Independent per-attempt probabilities; their sum must be <= 1.
+  double transient_rate = 0.0;
+  double torn_rate = 0.0;
+  double latency_spike_rate = 0.0;
+  double latency_spike_seconds = 20e-3;  // one "hiccup" = 10 cold seeks
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultPlanOptions& opts) : opts_(opts) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // One draw per fetch attempt. Thread-safe; the ordinal is a global
+  // atomic so every attempt (including retries) is independent.
+  FaultKind Decide(uint32_t file_id, uint64_t page_no) {
+    const uint64_t ordinal = ordinal_.fetch_add(1, std::memory_order_relaxed);
+    const double u = Uniform(opts_.seed, file_id, page_no, ordinal);
+    if (u < opts_.transient_rate) {
+      transient_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultKind::kTransientError;
+    }
+    if (u < opts_.transient_rate + opts_.torn_rate) {
+      torn_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultKind::kTornRead;
+    }
+    if (u < opts_.transient_rate + opts_.torn_rate +
+                opts_.latency_spike_rate) {
+      spikes_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultKind::kLatencySpike;
+    }
+    return FaultKind::kNone;
+  }
+
+  const FaultPlanOptions& options() const { return opts_; }
+  uint64_t attempts() const {
+    return ordinal_.load(std::memory_order_relaxed);
+  }
+  uint64_t transient_injected() const {
+    return transient_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t torn_injected() const {
+    return torn_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t spikes_injected() const {
+    return spikes_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // SplitMix64 over the mixed identity -> uniform double in [0, 1). Same
+  // finalizer as common/rng.h, restated here so storage/ stays independent
+  // of the query-path RNG contract (no shared stream, per §9.1).
+  static double Uniform(uint64_t seed, uint32_t file_id, uint64_t page_no,
+                        uint64_t ordinal) {
+    uint64_t x = seed + 0x9E3779B97F4A7C15ull * (ordinal + 1);
+    x ^= (static_cast<uint64_t>(file_id) << 40) ^ page_no;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  const FaultPlanOptions opts_;
+  std::atomic<uint64_t> ordinal_{0};
+  std::atomic<uint64_t> transient_injected_{0};
+  std::atomic<uint64_t> torn_injected_{0};
+  std::atomic<uint64_t> spikes_injected_{0};
+};
+
+}  // namespace x100ir::storage
+
+#endif  // X100IR_STORAGE_FAULT_INJECTION_H_

@@ -1,5 +1,8 @@
 #include "storage/file.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <utility>
 
 namespace x100ir::storage {
@@ -45,10 +48,20 @@ Status File::ReadAt(uint64_t offset, uint64_t len, void* dst) const {
     return InvalidArgument("read past end of file");
   }
   if (len == 0) return OkStatus();
-  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return IOError("seek failed");
+  // pread, not fseek+fread: FILE* keeps one shared cursor, which would race
+  // when concurrent queries fetch different pages of the same column.
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  uint64_t done = 0;
+  while (done < len) {
+    const ssize_t n = pread(fileno(f_), out + done, len - done,
+                            static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOError("pread failed");
+    }
+    if (n == 0) return IOError("short read");
+    done += static_cast<uint64_t>(n);
   }
-  if (std::fread(dst, len, 1, f_) != 1) return IOError("short read");
   return OkStatus();
 }
 

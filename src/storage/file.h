@@ -29,7 +29,9 @@ class File {
   Status Size(uint64_t* out) const;
 
   // Reads exactly [offset, offset + len) into dst; a short read (EOF or
-  // I/O error) is an error, never a partial fill.
+  // I/O error) is an error, never a partial fill. Thread-safe: positioned
+  // pread, no shared file cursor — concurrent page fetches from different
+  // buffer-pool shards may overlap freely on one File.
   Status ReadAt(uint64_t offset, uint64_t len, void* dst) const;
 
   void Close();

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "vec/vector.h"
 
@@ -60,6 +61,12 @@ struct ExecContext {
   // Filled in by the plan's operators as they run; read (and reset) by the
   // engine around each query.
   ExecStats stats;
+
+  // Per-query random stream (DESIGN.md §9.1): every ExecContext owns its
+  // own Rng, seeded from SearchOptions::rng_seed, so nothing in a plan
+  // ever draws from shared mutable state — concurrent queries stay
+  // bit-identical to their serial runs.
+  Rng rng{0};
 
   // Called by every operator at Open: vector_size arrives from user-facing
   // APIs (SearchOptions), so the plan rejects 0 and clamps oversizes here

@@ -1,18 +1,23 @@
-// Tests for the common support layer: Rng determinism, branch-predictor
-// simulation, string/table formatting, Status, timers, perf counters.
+// Tests for the common support layer: Rng determinism + Fork, deadlines,
+// the worker pool, branch-predictor simulation, string/table formatting,
+// Status, timers, perf counters.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/branch_sim.h"
+#include "common/deadline.h"
 #include "common/perf_counters.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace x100ir {
@@ -67,6 +72,125 @@ TEST(Rng, BernoulliEdgesAndRate) {
     if (rng.NextBernoulli(0.3)) ++hits;
   }
   EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+// The §9.1 per-query stream contract: Fork is a const derivation from the
+// parent's seed and the ordinal — reproducible, order-independent, and
+// non-consuming, so a service can hand query N its private stream no
+// matter which thread runs it or when.
+TEST(Rng, ForkIsDeterministicAndOrderIndependent) {
+  Rng parent(2007);
+  Rng a1 = parent.Fork(5);
+  Rng b1 = parent.Fork(9);
+  // Forking in the opposite order (from an identically-seeded parent)
+  // yields the same child streams.
+  Rng parent2(2007);
+  Rng b2 = parent2.Fork(9);
+  Rng a2 = parent2.Fork(5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a1.Next(), a2.Next()) << "draw " << i;
+    ASSERT_EQ(b1.Next(), b2.Next()) << "draw " << i;
+  }
+  // Fork never consumes parent state.
+  Rng fresh(2007);
+  EXPECT_EQ(parent.Next(), fresh.Next());
+}
+
+TEST(Rng, ForkedStreamsDecorrelate) {
+  Rng parent(123);
+  // Consecutive ordinals (the service's submission counter) must not give
+  // correlated streams.
+  Rng a = parent.Fork(1000);
+  Rng b = parent.Fork(1001);
+  int equal = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Deadline, DefaultNeverExpiresButCancels) {
+  Deadline d;
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.Check().ok());
+  EXPECT_TRUE(d.remaining_seconds() > 1e18);
+  d.Cancel();
+  EXPECT_TRUE(d.cancelled());
+  EXPECT_EQ(d.Check().code(), StatusCode::kUnavailable);
+}
+
+TEST(Deadline, ZeroOrNegativeIsAlreadyExpired) {
+  Deadline zero(0.0);
+  EXPECT_TRUE(zero.expired());
+  EXPECT_EQ(zero.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LE(zero.remaining_seconds(), 0.0);
+  Deadline negative(-5.0);
+  EXPECT_TRUE(negative.expired());
+}
+
+TEST(Deadline, FutureDeadlineIsLiveAndCancelWins) {
+  Deadline d(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.Check().ok());
+  EXPECT_GT(d.remaining_seconds(), 3500.0);
+  // Cancellation outranks a live deadline — a cancelled query reports the
+  // service's shutdown, not a fake timeout.
+  d.Cancel();
+  EXPECT_EQ(d.Check().code(), StatusCode::kUnavailable);
+}
+
+TEST(Deadline, CancelIsVisibleAcrossThreads) {
+  Deadline d(3600.0);
+  std::atomic<bool> saw{false};
+  std::thread watcher([&] {
+    while (!d.cancelled()) std::this_thread::yield();
+    saw.store(true);
+  });
+  d.Cancel();
+  watcher.join();
+  EXPECT_TRUE(saw.load());
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Shutdown();  // drains queued work before joining
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0}, inner{0};
+  std::atomic<bool> chained{false};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      outer.fetch_add(1);
+      pool.Submit([&] {
+        inner.fetch_add(1);
+        chained.store(true);
+      });
+    });
+  }
+  // Shutdown drains tasks queued *before* it, including the nested ones
+  // already submitted by then; wait for the fan-out to settle first.
+  while (inner.load() < 16) std::this_thread::yield();
+  pool.Shutdown();
+  EXPECT_EQ(outer.load(), 16);
+  EXPECT_EQ(inner.load(), 16);
+  EXPECT_TRUE(chained.load());
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(BranchSim, AllTakenIsNearlyPerfect) {

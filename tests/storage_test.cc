@@ -863,14 +863,14 @@ TEST(DatabaseStorage, SurfacesBufferStatsAndEvictAll) {
   dopts.corpus = SmallGeneratedOptions();
   core::Database mem;
   ASSERT_TRUE(mem.Open(dopts).ok());
-  EXPECT_EQ(mem.buffer_stats(), nullptr);
+  EXPECT_FALSE(mem.has_storage());
   EXPECT_EQ(mem.disk(), nullptr);
 
   dopts.dir = FreshDir("db_stats");
   dopts.storage.page_bytes = 4096;
   core::Database db;
   ASSERT_TRUE(db.Open(dopts).ok());
-  ASSERT_NE(db.buffer_stats(), nullptr);
+  ASSERT_TRUE(db.has_storage());
   ASSERT_NE(db.disk(), nullptr);
   ir::Query q;
   q.terms = {3, 50};
@@ -878,7 +878,7 @@ TEST(DatabaseStorage, SurfacesBufferStatsAndEvictAll) {
   ir::SearchResult r;
   ASSERT_TRUE(db.index()->EvictAll().ok());
   ASSERT_TRUE(db.Search(q, ir::RunType::kBm25TCM, opts, &r).ok());
-  EXPECT_GT(db.buffer_stats()->misses, 0u);
+  EXPECT_GT(db.buffer_stats().misses, 0u);
   EXPECT_GT(db.disk()->seeks(), 0u);
   EXPECT_GT(r.stats.windows_decoded, 0u);
 }
