@@ -57,7 +57,10 @@ int Run() {
     const uint64_t seeks_before = db.disk()->seeks();
     const uint64_t bytes_before = db.disk()->total_bytes();
     for (const auto& q : queries) {
-      bench::CheckOk(db.index()->EvictAll(), "evict");
+      // Cold means *this run's* columns are cold: evict exactly the two
+      // files BM25TC scans, not the whole pool.
+      bench::CheckOk(bench::EvictRunColumns(db, ir::RunType::kBm25TC),
+                     "evict");
       bench::CheckOk(db.Search(q, ir::RunType::kBm25TC, sopts, &result),
                      "search");
       total += result.TotalSeconds();

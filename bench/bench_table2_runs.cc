@@ -88,7 +88,10 @@ int Run() {
     const uint64_t seeks_before = has_disk ? db.disk()->seeks() : 0;
     const uint64_t bytes_before = has_disk ? db.disk()->total_bytes() : 0;
     for (size_t i = 0; i < cold_n; ++i) {
-      bench::CheckOk(db.index()->EvictAll(), "evict");
+      // Per-run cold reset: chill only the columns this run reads, so a
+      // row's cold cost reflects its own I/O, not refetches of files the
+      // previous row's global eviction threw out.
+      bench::CheckOk(bench::EvictRunColumns(db, type), "evict");
       bench::CheckOk(db.Search(efficiency_queries[i], type, opts, &result),
                      "search");
       cold_total += result.TotalSeconds();

@@ -122,6 +122,41 @@ inline Status OpenBenchDatabase(core::Database* db,
   return s;
 }
 
+/// Evicts exactly the columns RunType `type` scans — the per-run cold
+/// reset. A global EvictAll would also chill columns the run never touches
+/// (and, in the segmented index, every other segment's pages), polluting
+/// cross-run comparisons with eviction work and refetches the measured run
+/// doesn't cause. In-memory run types touch no storage: no-op.
+inline Status EvictRunColumns(const core::Database& db, ir::RunType type) {
+  if (!db.has_storage()) return OkStatus();
+  const ir::IndexStorage* st = db.index()->storage();
+  storage::BufferManager* pool = db.index()->buffer_manager();
+  const storage::ColumnReader* docid = nullptr;
+  const storage::ColumnReader* value = nullptr;
+  switch (type) {
+    case ir::RunType::kBm25T:
+      docid = &st->docid_raw;
+      value = &st->tf_raw;
+      break;
+    case ir::RunType::kBm25TC:
+      docid = &st->docid_compressed;
+      value = &st->tf_compressed;
+      break;
+    case ir::RunType::kBm25TCM:
+      docid = &st->docid_compressed;
+      value = &st->score_f32;
+      break;
+    case ir::RunType::kBm25TCMQ8:
+      docid = &st->docid_compressed;
+      value = &st->score_q8;
+      break;
+    default:
+      return OkStatus();  // in-memory run: nothing pooled to evict
+  }
+  X100IR_RETURN_IF_ERROR(pool->EvictFile(docid->file_id()));
+  return pool->EvictFile(value->file_id());
+}
+
 /// Aborts the bench on error (benches are not recoverable).
 inline void CheckOk(const Status& s, const char* what) {
   if (!s.ok()) {

@@ -1,14 +1,19 @@
 #include "core/database.h"
 
+#include <utility>
+
 namespace x100ir::core {
 
 Status Database::Open(const DatabaseOptions& options) {
   open_ = false;
+  // The old manager borrows the old corpus (and may be merging over it):
+  // it must die before the corpus is regenerated.
+  manager_.reset();
+  build_stats_ = ir::BuildStats();
   X100IR_RETURN_IF_ERROR(ir::Corpus::Generate(options.corpus, &corpus_));
-  X100IR_RETURN_IF_ERROR(index_.BuildFromCorpus(corpus_, options.dir,
-                                                &build_stats_,
-                                                options.storage));
-  engine_.set_index(&index_);
+  manager_ = std::make_unique<ir::SnapshotManager>();
+  X100IR_RETURN_IF_ERROR(
+      manager_->Open(&corpus_, options.dir, options.storage, &build_stats_));
   open_ = true;
   return OkStatus();
 }
@@ -17,7 +22,60 @@ Status Database::Search(const ir::Query& query, ir::RunType type,
                         const ir::SearchOptions& opts,
                         ir::SearchResult* result) const {
   if (!open_) return InvalidArgument("database is not open");
-  return engine_.Search(query, type, opts, result);
+  std::shared_ptr<const ir::Snapshot> snap = manager_->Acquire();
+  if (snap->plain) {
+    // Exactly the monolithic index (no delta docs, no tombstones, identity
+    // docid map): run the pre-segmentation hot path, byte for byte.
+    ir::SearchEngine engine(&snap->segments[0].seg->index());
+    Status s = engine.Search(query, type, opts, result);
+    if (result != nullptr) result->epoch = snap->epoch;
+    return s;
+  }
+  return ir::SearchSnapshot(*snap, query, type, opts, result);
+}
+
+Status Database::AddDocument(const std::vector<uint32_t>& terms,
+                             int32_t* docid) {
+  if (!open_) return InvalidArgument("database is not open");
+  return manager_->AddDocument(terms, docid);
+}
+
+Status Database::DeleteDocument(int32_t docid) {
+  if (!open_) return InvalidArgument("database is not open");
+  return manager_->DeleteDocument(docid);
+}
+
+Status Database::StartMerge() {
+  if (!open_) return InvalidArgument("database is not open");
+  return manager_->StartMerge();
+}
+
+Status Database::WaitMerge() {
+  if (!open_) return InvalidArgument("database is not open");
+  return manager_->WaitMerge();
+}
+
+Status Database::Merge() {
+  if (!open_) return InvalidArgument("database is not open");
+  return manager_->Merge();
+}
+
+bool Database::merge_running() const {
+  return open_ && manager_->merge_running();
+}
+
+uint64_t Database::epoch() const {
+  return open_ ? manager_->epoch() : 0;
+}
+
+std::shared_ptr<const ir::Snapshot> Database::Acquire() const {
+  return open_ ? manager_->Acquire() : nullptr;
+}
+
+const ir::InvertedIndex* Database::index() const {
+  if (!open_) return nullptr;
+  std::shared_ptr<const ir::Snapshot> snap = manager_->Acquire();
+  return snap->segments.empty() ? nullptr : &snap->segments[0].seg->index();
 }
 
 }  // namespace x100ir::core

@@ -11,11 +11,23 @@
 #ifndef X100IR_IR_BM25_H_
 #define X100IR_IR_BM25_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "vec/vector.h"
 
 namespace x100ir::ir {
+
+// BM25 idf, the +1 variant (always positive, so a ubiquitous term can
+// never flip a document's score negative). One definition shared by the
+// index builder, the snapshot layer's live collection stats, and the test
+// oracles: a segmented search scoring with live (num_docs, df) must be
+// bit-identical to a monolithic index rebuilt over the same live corpus.
+inline float Bm25Idf(uint32_t num_docs, uint32_t df) {
+  const double n = static_cast<double>(num_docs);
+  const double d = static_cast<double>(df);
+  return static_cast<float>(std::log(1.0 + (n - d + 0.5) / (d + 0.5)));
+}
 
 // Scalar single-posting BM25 — the same formula, constant folding, and
 // operation order as MapBm25 below, for call sites that score one posting
@@ -70,6 +82,7 @@ namespace x100ir {
 // Surface the scoring kernels at engine scope: call sites live in other
 // subsystem namespaces (vec/ operators, benches) and the kernels take only
 // raw pointers, so argument-dependent lookup never finds them in ir::.
+using ir::Bm25Idf;
 using ir::Bm25One;
 using ir::MapBm25;
 using ir::MapBm25Sel;

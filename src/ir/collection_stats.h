@@ -1,0 +1,48 @@
+// Collection-wide BM25 scoring statistics at one snapshot epoch. In the
+// monolithic engine these live inside the InvertedIndex (num_docs,
+// avg_doc_len, per-term idf computed at build time); once the index is
+// segmented they must come from the *live* collection — documents across
+// all segments plus the delta, minus tombstones — or a segment built last
+// week would score with stale df. The SnapshotManager maintains the live
+// counters incrementally under its commit lock and freezes a copy into
+// every published snapshot; SearchOptions carries a borrowed pointer so
+// each per-segment engine invocation scores with the global numbers.
+//
+// Exactness contract: num_docs/df are exact integer counts over live
+// documents and avg_doc_len is computed the way Corpus::Finalize computes
+// it (integer total length, one double division). idf is deliberately NOT
+// materialized: it depends on num_docs, so every commit would recompute a
+// vocab-sized float vector — instead consumers derive idf[t] =
+// Bm25Idf(num_docs, df[t]) for just their query terms (the same function
+// the index builder bakes into TermInfo, so scoring with these stats is
+// bit-identical to a monolithic index freshly rebuilt over the live
+// corpus).
+#ifndef X100IR_IR_COLLECTION_STATS_H_
+#define X100IR_IR_COLLECTION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace x100ir::ir {
+
+struct CollectionStats {
+  uint32_t num_docs = 0;
+  double avg_doc_len = 0.0;
+  // Vocab-sized: df[t] = live documents containing t.
+  std::vector<uint32_t> df;
+};
+
+// Tombstone bitmap probe (bit d set = doc d deleted). Bitmaps are
+// word-arrays of ceil(num_docs / 64) uint64s; a null pointer means "no
+// deletes", so every call site can pass the optional bitmap straight
+// through.
+inline bool TombstoneTest(const uint64_t* bits, int32_t docid) {
+  return bits != nullptr &&
+         ((bits[static_cast<uint32_t>(docid) >> 6] >>
+           (static_cast<uint32_t>(docid) & 63)) &
+          1) != 0;
+}
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_COLLECTION_STATS_H_

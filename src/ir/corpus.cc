@@ -224,6 +224,41 @@ Status Corpus::FromDocuments(const std::vector<std::vector<uint32_t>>& docs,
   return out->Finalize();
 }
 
+Status Corpus::FromDocTerms(std::vector<std::vector<DocTerm>> docs,
+                            uint32_t vocab_size, Corpus* out) {
+  if (out == nullptr) return InvalidArgument("null corpus output");
+  if (docs.empty() || vocab_size == 0) {
+    return InvalidArgument("hand-built corpus needs docs and a vocabulary");
+  }
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (docs[d].empty()) {
+      return InvalidArgument(StrFormat("document %zu is empty", d));
+    }
+    uint32_t prev = 0;
+    bool first = true;
+    for (const DocTerm& p : docs[d]) {
+      if (p.term >= vocab_size) {
+        return InvalidArgument(StrFormat("term %u outside vocabulary of %u",
+                                         p.term, vocab_size));
+      }
+      if (p.tf <= 0 || (!first && p.term <= prev)) {
+        return InvalidArgument(
+            StrFormat("document %zu is not normalized", d));
+      }
+      prev = p.term;
+      first = false;
+    }
+  }
+  *out = Corpus();
+  out->hand_built_ = true;
+  out->options_ = CorpusOptions{};
+  out->options_.num_docs = static_cast<uint32_t>(docs.size());
+  out->options_.vocab_size = vocab_size;
+  out->options_.num_topics = 0;
+  out->docs_ = std::move(docs);
+  return out->Finalize();
+}
+
 uint64_t Corpus::Fingerprint() const {
   uint64_t h = 0xCBF29CE484222325ull;
   h = FnvMix(h, kGeneratorVersion);

@@ -66,6 +66,13 @@ class Corpus {
   static Status FromDocuments(const std::vector<std::vector<uint32_t>>& docs,
                               uint32_t vocab_size, Corpus* out);
 
+  // Same contract but from already-normalized (term, tf) lists — each doc
+  // sorted by term, distinct terms, positive tfs — moved in without the
+  // occurrence-expansion round trip. This is how a merge builds the corpus
+  // for a compacted segment from the forward documents it already holds.
+  static Status FromDocTerms(std::vector<std::vector<DocTerm>> docs,
+                             uint32_t vocab_size, Corpus* out);
+
   const CorpusOptions& options() const { return options_; }
   uint32_t num_docs() const { return static_cast<uint32_t>(docs_.size()); }
   uint32_t vocab_size() const { return options_.vocab_size; }

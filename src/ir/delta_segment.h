@@ -1,0 +1,107 @@
+// The in-memory write buffer of the segmented index (DESIGN.md §10): newly
+// added documents live here — uncompressed, forward (per-doc term lists)
+// AND inverted (per-term posting vectors) — until a background merge
+// compacts them into an immutable compressed Segment.
+//
+// Docid space: the delta owns the global docid range [base_docid, base +
+// num_docs). Documents are append-only, so within every term's posting
+// vector the docids ascend — the same invariant the compressed segments
+// have, which keeps cross-structure result merging a concatenation.
+//
+// Snapshot reads (visible-prefix semantics): a snapshot captures the
+// document count at acquire time and scans only postings whose doc index is
+// below it. Appends after the capture are invisible to that snapshot, so a
+// query sees one consistent document set without blocking writers for its
+// whole duration. Readers copy postings out under a shared lock (the
+// posting vectors reallocate under Add, so borrowed pointers would dangle);
+// the forward stores are deques, whose element references survive appends,
+// so per-doc accessors can return without copying.
+//
+// Thread contract: Add under the writer lock; every accessor is safe
+// concurrently with Add. Seal() flips the buffer read-only (merge prep);
+// a sealed delta is scanned lock-free by convention but the accessors keep
+// taking the shared lock anyway — uncontended, and TSan-clean by
+// construction rather than by argument.
+#ifndef X100IR_IR_DELTA_SEGMENT_H_
+#define X100IR_IR_DELTA_SEGMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/corpus.h"
+
+namespace x100ir::ir {
+
+class DeltaSegment {
+ public:
+  DeltaSegment(uint32_t vocab_size, int32_t base_docid)
+      : vocab_size_(vocab_size), base_(base_docid), postings_(vocab_size) {}
+  DeltaSegment(const DeltaSegment&) = delete;
+  DeltaSegment& operator=(const DeltaSegment&) = delete;
+
+  uint32_t vocab_size() const { return vocab_size_; }
+  int32_t base_docid() const { return base_; }
+
+  // Appends one document (normalized: terms strictly ascending, tfs > 0 —
+  // the caller validated) and returns its global docid. Fails
+  // FailedPrecondition on a sealed delta.
+  Status Add(std::vector<DocTerm> doc, int32_t* global_docid);
+
+  // Current document count (== how many are visible to a snapshot acquired
+  // now).
+  uint32_t num_docs() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<uint32_t>(doc_lens_.size());
+  }
+
+  // Flips the buffer read-only; Add fails afterwards. Called once, by the
+  // merge that adopts this delta as input.
+  void Seal() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    sealed_ = true;
+  }
+  bool sealed() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return sealed_;
+  }
+
+  // Copies term t's postings with doc index < visible out as parallel
+  // (delta-local doc index, tf) vectors, docids ascending. Overwrites the
+  // outputs.
+  void CollectPostings(uint32_t term, uint32_t visible,
+                       std::vector<int32_t>* local_idx,
+                       std::vector<int32_t>* tfs) const;
+
+  // Per-document forward access, valid for local < the visible count the
+  // caller captured. The returned reference stays valid across concurrent
+  // Adds (deque-backed).
+  int32_t doc_len(uint32_t local) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return doc_lens_[local];
+  }
+  const std::vector<DocTerm>& doc(uint32_t local) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return docs_[local];
+  }
+
+ private:
+  const uint32_t vocab_size_;
+  const int32_t base_;
+
+  mutable std::shared_mutex mu_;
+  bool sealed_ = false;
+  // Inverted: postings_[t] = (delta-local doc index, tf), index ascending.
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> postings_;
+  // Forward: deques so element references survive appends.
+  std::deque<std::vector<DocTerm>> docs_;
+  std::deque<int32_t> doc_lens_;
+};
+
+}  // namespace x100ir::ir
+
+#endif  // X100IR_IR_DELTA_SEGMENT_H_

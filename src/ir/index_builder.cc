@@ -16,14 +16,6 @@
 namespace x100ir::ir {
 namespace {
 
-// BM25 idf, the +1 variant (always positive, so a ubiquitous term can
-// never flip a document's score negative).
-float Bm25Idf(uint32_t num_docs, uint32_t df) {
-  const double n = static_cast<double>(num_docs);
-  const double d = static_cast<double>(df);
-  return static_cast<float>(std::log(1.0 + (n - d + 0.5) / (d + 0.5)));
-}
-
 Status WriteColumnFile(const std::string& path, uint32_t encoding,
                        uint64_t value_count, const void* payload,
                        size_t payload_bytes) {
@@ -100,6 +92,38 @@ Status WriteMeta(const std::string& path, uint64_t fingerprint,
   return OkStatus();
 }
 
+// The T table packed as kTermRecordBytes-byte records (index_meta.h): the
+// in-memory TermInfo has tail padding, so fields are copied one by one.
+std::vector<uint8_t> PackTerms(const std::vector<TermInfo>& terms) {
+  std::vector<uint8_t> bytes(terms.size() * kTermRecordBytes);
+  uint8_t* p = bytes.data();
+  for (const TermInfo& t : terms) {
+    std::memcpy(p, &t.posting_start, 8);
+    std::memcpy(p + 8, &t.doc_freq, 4);
+    std::memcpy(p + 12, &t.idf, 4);
+    std::memcpy(p + 16, &t.max_tf, 4);
+    p += kTermRecordBytes;
+  }
+  return bytes;
+}
+
+Status UnpackTerms(const std::vector<uint8_t>& bytes, uint64_t count,
+                   std::vector<TermInfo>* terms) {
+  if (bytes.size() != count * kTermRecordBytes) {
+    return Internal("terms file payload size mismatch");
+  }
+  terms->assign(count, TermInfo());
+  const uint8_t* p = bytes.data();
+  for (TermInfo& t : *terms) {
+    std::memcpy(&t.posting_start, p, 8);
+    std::memcpy(&t.doc_freq, p + 8, 4);
+    std::memcpy(&t.idf, p + 12, 4);
+    std::memcpy(&t.max_tf, p + 16, 4);
+    p += kTermRecordBytes;
+  }
+  return OkStatus();
+}
+
 Status MakeBlockSource(std::vector<uint8_t> block,
                        std::unique_ptr<vec::BlockVectorSource>* out,
                        uint64_t expected_n, const char* what) {
@@ -136,6 +160,43 @@ Status InvertedIndex::TryLoadColumns(const std::string& dir) {
   X100IR_RETURN_IF_ERROR(
       MakeBlockSource(std::move(docid_block), &docid_source_, n, "docid"));
   return MakeBlockSource(std::move(tf_block), &tf_source_, n, "tf");
+}
+
+bool InvertedIndex::SideTablesMatch(const std::string& dir) const {
+  std::vector<uint8_t> payload;
+  uint64_t count = 0;
+  if (!ReadColumnFile(dir + "/" + kTermsFile, ColumnFileHeader::kOpaque,
+                      &count, &payload)
+           .ok() ||
+      count != terms_.size() || payload != PackTerms(terms_)) {
+    return false;
+  }
+  if (!ReadColumnFile(dir + "/" + kDoclenFile, ColumnFileHeader::kRawI32,
+                      &count, &payload)
+           .ok() ||
+      count != doc_lens_.size() ||
+      payload.size() != doc_lens_.size() * sizeof(int32_t) ||
+      std::memcmp(payload.data(), doc_lens_.data(), payload.size()) != 0) {
+    return false;
+  }
+  return true;
+}
+
+Status InvertedIndex::LoadSideTables(const std::string& dir) {
+  std::vector<uint8_t> payload;
+  uint64_t count = 0;
+  X100IR_RETURN_IF_ERROR(ReadColumnFile(
+      dir + "/" + kTermsFile, ColumnFileHeader::kOpaque, &count, &payload));
+  X100IR_RETURN_IF_ERROR(UnpackTerms(payload, count, &terms_));
+  X100IR_RETURN_IF_ERROR(ReadColumnFile(dir + "/" + kDoclenFile,
+                                        ColumnFileHeader::kRawI32, &count,
+                                        &payload));
+  if (payload.size() != count * sizeof(int32_t)) {
+    return Internal("doclen file payload size mismatch");
+  }
+  doc_lens_.assign(count, 0);
+  std::memcpy(doc_lens_.data(), payload.data(), payload.size());
+  return OkStatus();
 }
 
 Status InvertedIndex::EncodeAndPersist(const std::string& dir,
@@ -175,6 +236,14 @@ Status InvertedIndex::EncodeAndPersist(const std::string& dir,
         dir + "/" + kTfCompressedFile, ColumnFileHeader::kCompressedBlock, n,
         tf_block.data(), tf_block.size()));
     X100IR_RETURN_IF_ERROR(MaterializeScores(dir, docid_col, tf_col));
+    // Side tables, so the directory is loadable without the corpus.
+    const std::vector<uint8_t> term_bytes = PackTerms(terms_);
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kTermsFile, ColumnFileHeader::kOpaque, terms_.size(),
+        term_bytes.data(), term_bytes.size()));
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kDoclenFile, ColumnFileHeader::kRawI32, doc_lens_.size(),
+        doc_lens_.data(), doc_lens_.size() * sizeof(int32_t)));
     // Meta last: a torn run leaves columns without meta, which reads as
     // "rebuild" next time instead of "trust stale files".
     X100IR_RETURN_IF_ERROR(WriteMeta(dir + "/" + kIndexMetaFile,
@@ -236,13 +305,43 @@ Status InvertedIndex::MaterializeScores(
 }
 
 Status InvertedIndex::AttachStorage(const std::string& dir,
-                                    const storage::StorageOptions& opts) {
+                                    const storage::StorageOptions* owned,
+                                    const StorageBinding* shared) {
   storage_.reset();
   auto st = std::make_unique<IndexStorage>();
-  st->disk = storage::SimulatedDisk(opts.disk);
-  st->pool = std::make_unique<storage::BufferManager>(
-      opts.pool_bytes, &st->disk, opts.page_bytes, opts.shards);
-  st->pool->set_retry_policy(opts.retry);
+  if (shared != nullptr) {
+    if (shared->pool == nullptr) {
+      return InvalidArgument("storage binding without a pool");
+    }
+    st->pool = shared->pool;
+    st->file_id_base = shared->file_id_base;
+  } else {
+    st->disk = storage::SimulatedDisk(owned->disk);
+    st->owned_pool = std::make_unique<storage::BufferManager>(
+        owned->pool_bytes, &st->disk, owned->page_bytes, owned->shards);
+    st->owned_pool->set_retry_policy(owned->retry);
+    st->pool = st->owned_pool.get();
+  }
+  storage_ = std::move(st);
+  Status opened = OpenColumns(dir, storage_->pool, storage_->file_id_base);
+  if (!opened.ok()) {
+    if (shared != nullptr) {
+      // A shared pool outlives this attach attempt: drop whatever ids the
+      // partial open registered so the pool never dangles on closed files.
+      for (uint32_t i = 0; i < IndexStorage::kFilesPerIndex; ++i) {
+        Status unused = shared->pool->UnregisterFile(shared->file_id_base + i);
+        (void)unused;
+      }
+    }
+    storage_.reset();
+  }
+  return opened;
+}
+
+Status InvertedIndex::OpenColumns(const std::string& dir,
+                                  storage::BufferManager* pool,
+                                  uint32_t file_id_base) {
+  IndexStorage* st = storage_.get();
   struct ColumnSpec {
     storage::ColumnReader* reader;
     const char* file;
@@ -255,10 +354,10 @@ Status InvertedIndex::AttachStorage(const std::string& dir,
       {&st->score_f32, kScoreF32File},
       {&st->score_q8, kScoreQ8File},
   };
-  uint32_t file_id = 0;
+  uint32_t file_id = file_id_base;
   for (const ColumnSpec& spec : specs) {
     X100IR_RETURN_IF_ERROR(
-        spec.reader->Open(dir + "/" + spec.file, file_id++, st->pool.get()));
+        spec.reader->Open(dir + "/" + spec.file, file_id++, pool));
     if (spec.reader->value_count() != num_postings_) {
       return Internal(StrFormat("%s holds %llu values, expected %llu",
                                 spec.file,
@@ -268,8 +367,17 @@ Status InvertedIndex::AttachStorage(const std::string& dir,
                                     num_postings_)));
     }
   }
-  storage_ = std::move(st);
   return OkStatus();
+}
+
+void InvertedIndex::DetachSharedStorage() {
+  if (storage_ == nullptr || storage_->owned_pool != nullptr) return;
+  for (uint32_t i = 0; i < IndexStorage::kFilesPerIndex; ++i) {
+    Status unused =
+        storage_->pool->UnregisterFile(storage_->file_id_base + i);
+    (void)unused;
+  }
+  storage_.reset();
 }
 
 Status InvertedIndex::EvictAll() const {
@@ -283,6 +391,20 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
                                       const std::string& dir,
                                       BuildStats* stats,
                                       const storage::StorageOptions& storage) {
+  return BuildImpl(corpus, dir, stats, &storage, nullptr);
+}
+
+Status InvertedIndex::BuildFromCorpusShared(const Corpus& corpus,
+                                            const std::string& dir,
+                                            BuildStats* stats,
+                                            const StorageBinding& binding) {
+  return BuildImpl(corpus, dir, stats, nullptr, &binding);
+}
+
+Status InvertedIndex::BuildImpl(const Corpus& corpus, const std::string& dir,
+                                BuildStats* stats,
+                                const storage::StorageOptions* owned,
+                                const StorageBinding* shared) {
   if (stats == nullptr) return InvalidArgument("null build stats");
   *stats = BuildStats();
   if (corpus.num_postings() == 0) {
@@ -333,7 +455,8 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
   if (!dir.empty() &&
       MetaMatches(dir + "/" + kIndexMetaFile, fingerprint, num_postings_,
                   num_docs_, vocab_size()) &&
-      TryLoadColumns(dir).ok() && AttachStorage(dir, storage).ok()) {
+      SideTablesMatch(dir) && TryLoadColumns(dir).ok() &&
+      AttachStorage(dir, owned, shared).ok()) {
     stats->reused_files = true;
   } else {
     storage_.reset();
@@ -352,11 +475,58 @@ Status InvertedIndex::BuildFromCorpus(const Corpus& corpus,
         EncodeAndPersist(dir, fingerprint, docid_col, tf_col));
     // A fresh build must attach cleanly — failure here is a real error,
     // not a rebuild trigger.
-    if (!dir.empty()) X100IR_RETURN_IF_ERROR(AttachStorage(dir, storage));
+    if (!dir.empty()) {
+      X100IR_RETURN_IF_ERROR(AttachStorage(dir, owned, shared));
+    }
   }
   stats->num_postings = num_postings_;
   stats->build_seconds = timer.ElapsedSeconds();
   return OkStatus();
+}
+
+Status InvertedIndex::LoadFromDir(const std::string& dir,
+                                  const StorageBinding& binding) {
+  if (dir.empty()) return InvalidArgument("LoadFromDir needs a directory");
+  std::FILE* f = std::fopen((dir + "/" + kIndexMetaFile).c_str(), "rb");
+  if (f == nullptr) return NotFound("no index.meta under " + dir);
+  IndexMetaHeader meta;
+  const bool read_ok = std::fread(&meta, sizeof(meta), 1, f) == 1;
+  std::fclose(f);
+  if (!read_ok || meta.magic != IndexMetaHeader::kMagic ||
+      meta.version != IndexMetaHeader::kVersion) {
+    return IOError("bad index.meta under " + dir);
+  }
+  num_postings_ = meta.num_postings;
+  num_docs_ = meta.num_docs;
+
+  X100IR_RETURN_IF_ERROR(LoadSideTables(dir));
+  if (terms_.size() != meta.vocab_size ||
+      doc_lens_.size() != meta.num_docs) {
+    return Internal("side tables disagree with index.meta");
+  }
+  // Recompute the derived stats exactly the way Corpus::Finalize does
+  // (integer total, one double division) so a loaded segment scores
+  // bit-identically to one built from the corpus.
+  uint64_t total_len = 0;
+  for (int32_t len : doc_lens_) total_len += static_cast<uint64_t>(len);
+  avg_doc_len_ = num_docs_ == 0 ? 0.0
+                                : static_cast<double>(total_len) /
+                                      static_cast<double>(num_docs_);
+  min_doc_len_ = doc_lens_.empty()
+                     ? 0
+                     : *std::min_element(doc_lens_.begin(), doc_lens_.end());
+  uint64_t expect_start = 0;
+  for (const TermInfo& t : terms_) {
+    if (t.posting_start != expect_start) {
+      return Internal("terms file posting ranges are not contiguous");
+    }
+    expect_start += t.doc_freq;
+  }
+  if (expect_start != num_postings_) {
+    return Internal("terms file df sum disagrees with index.meta");
+  }
+  X100IR_RETURN_IF_ERROR(TryLoadColumns(dir));
+  return AttachStorage(dir, nullptr, &binding);
 }
 
 Status InvertedIndex::DecodePostings(uint32_t term,

@@ -28,13 +28,30 @@
 
 namespace x100ir::ir {
 
+// Binding of an index onto a *shared* buffer pool: the segmented database
+// opens every segment's columns through one pool (one memory budget, one
+// simulated disk) instead of a pool per index. `file_id_base` is the first
+// of kFilesPerIndex consecutive pool file ids reserved for this index;
+// segment retirement evicts exactly those ids.
+struct StorageBinding {
+  storage::BufferManager* pool = nullptr;  // borrowed, outlives the index
+  uint32_t file_id_base = 0;
+};
+
 // The storage-backed face of the index (Table 2 runs): every persisted
-// column opened through one buffer pool over one simulated disk. Owned by
-// the InvertedIndex when it was built with a directory; absent (and the
-// storage-era RunTypes unavailable) for in-memory-only indexes.
+// column opened through a buffer pool over a simulated disk — a private
+// pool when the index was built standalone (the monolithic path), or the
+// database-wide shared pool when built under a StorageBinding. Absent (and
+// the storage-era RunTypes unavailable) for in-memory-only indexes.
 struct IndexStorage {
-  storage::SimulatedDisk disk;
-  std::unique_ptr<storage::BufferManager> pool;
+  // Pool file ids an index consumes, starting at file_id_base: six live
+  // columns plus headroom so per-segment bases can stay a fixed stride.
+  static constexpr uint32_t kFilesPerIndex = 8;
+
+  storage::SimulatedDisk disk;  // meaningful only when the pool is owned
+  std::unique_ptr<storage::BufferManager> owned_pool;
+  storage::BufferManager* pool = nullptr;  // owned_pool.get() or external
+  uint32_t file_id_base = 0;
   storage::ColumnReader docid_raw;
   storage::ColumnReader tf_raw;
   storage::ColumnReader docid_compressed;
@@ -54,6 +71,21 @@ class InvertedIndex {
   Status BuildFromCorpus(const Corpus& corpus, const std::string& dir,
                          BuildStats* stats,
                          const storage::StorageOptions& storage = {});
+
+  // Same build-or-reuse contract, but the columns open through a shared
+  // pool instead of a private one — the segmented database's path, one
+  // pool across all segments. `dir` empty still means in-memory only (the
+  // binding is then unused).
+  Status BuildFromCorpusShared(const Corpus& corpus, const std::string& dir,
+                               BuildStats* stats,
+                               const StorageBinding& binding);
+
+  // Opens a v3 index directory without a corpus: side tables (terms,
+  // doclens) come off disk, postings from the compressed columns, storage
+  // through the shared binding. Any missing/torn/version-mismatched file
+  // is an error — the caller (Segment::Load on a manifest reopen) treats
+  // it as "fall back to a rebuild", never "serve garbage".
+  Status LoadFromDir(const std::string& dir, const StorageBinding& binding);
 
   uint32_t num_docs() const { return num_docs_; }
   uint32_t vocab_size() const {
@@ -93,14 +125,21 @@ class InvertedIndex {
   bool has_storage() const { return storage_ != nullptr; }
   IndexStorage* storage() const { return storage_.get(); }
   storage::BufferManager* buffer_manager() const {
-    return storage_ == nullptr ? nullptr : storage_->pool.get();
+    return storage_ == nullptr ? nullptr : storage_->pool;
   }
   const storage::SimulatedDisk* disk() const {
-    return storage_ == nullptr ? nullptr : &storage_->disk;
+    return storage_ == nullptr ? nullptr : storage_->pool->disk();
   }
   // Empties the buffer pool — the Table 2 cold-run reset. Fails without
   // storage or with pins outstanding.
   Status EvictAll() const;
+
+  // For a shared-pool index: drops this index's pages and file-id
+  // registrations from the pool, then closes the readers. Must be called
+  // before a shared-pool index dies (Segment's destructor does) — without
+  // it the pool would keep id→File bindings to closed files. No-op for
+  // owned or absent storage.
+  void DetachSharedStorage();
 
   // Build-time BM25 parameters baked into the materialized score columns
   // (the TCM/TCMQ8 runs score with these).
@@ -108,9 +147,21 @@ class InvertedIndex {
   static constexpr float kMaterializedB = 0.75f;
 
  private:
+  // The build-or-reuse engine behind both public build entry points:
+  // exactly one of `owned` / `shared` is non-null and decides how storage
+  // attaches.
+  Status BuildImpl(const Corpus& corpus, const std::string& dir,
+                   BuildStats* stats, const storage::StorageOptions* owned,
+                   const StorageBinding* shared);
   // Loads the compressed column files from a fingerprint-matched dir; any
   // failure (missing, truncated, corrupt) means "rebuild", not "error".
   Status TryLoadColumns(const std::string& dir);
+  // True when the persisted side tables byte-match the corpus-derived
+  // terms_/doc_lens_ — reuse must reject a torn terms or doclen file the
+  // same way it rejects a torn column.
+  bool SideTablesMatch(const std::string& dir) const;
+  // Reads the side tables into terms_/doc_lens_ (the corpus-free path).
+  Status LoadSideTables(const std::string& dir);
   Status EncodeAndPersist(const std::string& dir, uint64_t corpus_fingerprint,
                           const std::vector<int32_t>& docid_col,
                           const std::vector<int32_t>& tf_col);
@@ -119,9 +170,14 @@ class InvertedIndex {
   Status MaterializeScores(const std::string& dir,
                            const std::vector<int32_t>& docid_col,
                            const std::vector<int32_t>& tf_col) const;
-  // Opens every persisted column through a fresh pool; failure = rebuild.
+  // Opens every persisted column through a fresh private pool (`owned`) or
+  // the database-wide one (`shared`); failure = rebuild.
   Status AttachStorage(const std::string& dir,
-                       const storage::StorageOptions& opts);
+                       const storage::StorageOptions* owned,
+                       const StorageBinding* shared);
+  // Opens the six column readers through `pool` at `file_id_base`.
+  Status OpenColumns(const std::string& dir, storage::BufferManager* pool,
+                     uint32_t file_id_base);
 
   uint32_t num_docs_ = 0;
   uint64_t num_postings_ = 0;

@@ -33,6 +33,18 @@ inline constexpr char kTfCompressedFile[] = "td_tf_pfor.col";
 inline constexpr char kScoreF32File[] = "td_score_f32.col";
 inline constexpr char kScoreQ8File[] = "td_score_q8.col";
 inline constexpr char kIndexMetaFile[] = "index.meta";
+// Side tables (v3): the T table (packed TermRecords) and the D.doclen
+// column, persisted so a segment directory is self-describing — a manifest
+// reopen loads them instead of recomputing from a corpus it doesn't have.
+inline constexpr char kTermsFile[] = "t_terms.col";
+inline constexpr char kDoclenFile[] = "d_doclen.col";
+// Per-segment local→global docid map (absent for the base segment, whose
+// map is the identity), and the segment-set manifest at the database root.
+// The manifest is written to kManifestTmpFile and renamed into place —
+// the atomic commit point of a merge (DESIGN.md §10).
+inline constexpr char kSegmentMetaFile[] = "segment.meta";
+inline constexpr char kManifestFile[] = "MANIFEST";
+inline constexpr char kManifestTmpFile[] = "MANIFEST.tmp";
 
 // Every column file starts with this header. storage::ColumnReader (the
 // buffer-pool-backed access path) consumes this same layout, so the format
@@ -46,6 +58,8 @@ struct ColumnFileHeader {
                            // BM25 score column, kScoreF32File)
     kQuantU8 = 3,          // payload: Q8Params, then value_count * uint8;
                            // value = bias + scale * q (kScoreQ8File)
+    kOpaque = 4,           // payload: value_count packed records whose
+                           // layout the consumer defines (kTermsFile)
   };
 
   uint32_t magic = kMagic;
@@ -70,10 +84,12 @@ static_assert(sizeof(Q8Params) == 16, "packed q8 params");
 struct IndexMetaHeader {
   static constexpr uint32_t kMagic = 0x5844584D;  // "XDXM"
   // v2: the index directory additionally carries the materialized score
-  // columns (kScoreF32File/kScoreQ8File). Bumping the version makes every
-  // pre-storage directory read as "rebuild" instead of "reuse without
-  // score columns".
-  static constexpr uint32_t kVersion = 2;
+  // columns (kScoreF32File/kScoreQ8File). v3: plus the persisted side
+  // tables (kTermsFile/kDoclenFile), making the directory loadable without
+  // the corpus — what Segment::Load needs on a manifest reopen. Bumping
+  // makes every older directory read as "rebuild", never as "reuse with
+  // files missing".
+  static constexpr uint32_t kVersion = 3;
 
   uint32_t magic = kMagic;
   uint32_t version = kVersion;
@@ -81,6 +97,55 @@ struct IndexMetaHeader {
   uint64_t num_postings = 0;
   uint32_t num_docs = 0;
   uint32_t vocab_size = 0;
+};
+
+// On-disk record of one T-table entry (kTermsFile, encoding kOpaque):
+// fields written packed in this order, 20 bytes per term, no padding. Kept
+// separate from TermInfo so the in-memory struct can keep natural
+// alignment without persisting its tail padding.
+inline constexpr size_t kTermRecordBytes = 8 + 4 + 4 + 4;
+
+// segment.meta payload: the local→global docid map of a merged segment.
+// Header then num_docs packed int32 global docids (strictly increasing —
+// merges preserve global docid order, which keeps cross-segment top-k
+// merges a concatenation).
+struct SegmentMetaHeader {
+  static constexpr uint32_t kMagic = 0x4754584D;  // "MXTG"
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint32_t seg_id = 0;
+  uint32_t num_docs = 0;
+};
+
+// MANIFEST payload: the committed segment set. Header, then per segment a
+// ManifestSegment followed by its tombstone bitmap words (usually zero of
+// them — a merge purges tombstones; only deletes that landed *during* the
+// merge are re-applied to the new segment and persisted here). The
+// manifest is the last file written (tmp + rename): a directory with
+// columns but no manifest and no index.meta reads as "rebuild".
+struct ManifestHeader {
+  static constexpr uint32_t kMagic = 0x464E4D58;  // "XMNF"
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  // Fingerprint of the *base* corpus the database was opened with. A
+  // reopen under different corpus options must not adopt this manifest.
+  uint64_t corpus_fingerprint = 0;
+  uint64_t epoch = 0;
+  uint32_t num_segments = 0;
+  uint32_t next_seg_id = 0;
+  int32_t next_docid = 0;
+  uint32_t reserved = 0;
+};
+
+struct ManifestSegment {
+  uint32_t seg_id = 0;
+  uint32_t num_docs = 0;
+  uint32_t num_tombstone_words = 0;
+  uint32_t reserved = 0;
 };
 
 // Per-term entry of the T table.

@@ -190,13 +190,26 @@ Status SearchEngine::SearchBool(const std::vector<uint32_t>& terms,
     X100IR_RETURN_IF_ERROR(root->Next(&b));
     if (b == nullptr) break;
     const int32_t* docids = b->columns[0]->Data<int32_t>();
-    result->num_matches += b->count;
-    const uint32_t room =
-        opts.k > result->docids.size()
-            ? opts.k - static_cast<uint32_t>(result->docids.size())
-            : 0;
-    const uint32_t take = std::min(room, b->count);
-    result->docids.insert(result->docids.end(), docids, docids + take);
+    if (opts.tombstones == nullptr) {
+      result->num_matches += b->count;
+      const uint32_t room =
+          opts.k > result->docids.size()
+              ? opts.k - static_cast<uint32_t>(result->docids.size())
+              : 0;
+      const uint32_t take = std::min(room, b->count);
+      result->docids.insert(result->docids.end(), docids, docids + take);
+    } else {
+      // Segmented read with deletes: only live docids count toward
+      // num_matches and the k cap, so the result matches an index rebuilt
+      // without the deleted documents.
+      for (uint32_t i = 0; i < b->count; ++i) {
+        if (TombstoneTest(opts.tombstones, docids[i])) continue;
+        ++result->num_matches;
+        if (result->docids.size() < opts.k) {
+          result->docids.push_back(docids[i]);
+        }
+      }
+    }
   }
   root->Close();
   result->stats = ctx.stats;
@@ -209,10 +222,9 @@ Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
   vec::ExecContext ctx;
   ctx.vector_size = opts.vector_size;
   ctx.rng = Rng(opts.rng_seed);
+  const double avgdl = EffectiveAvgDocLen(opts, *index_);
   const float inv_avgdl =
-      index_->avg_doc_len() > 0.0
-          ? static_cast<float>(1.0 / index_->avg_doc_len())
-          : 0.0f;
+      avgdl > 0.0 ? static_cast<float>(1.0 / avgdl) : 0.0f;
   const int32_t* doclens = index_->doc_lens().data();
 
   std::vector<vec::OperatorPtr> scored;
@@ -220,12 +232,13 @@ Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
   for (uint32_t t : terms) {
     scored.push_back(std::make_unique<Bm25ScoreOperator>(
         &ctx, MakeTermScan(*index_, &ctx, t, /*with_tf=*/true),
-        index_->term(t).idf, opts.bm25, doclens, inv_avgdl));
+        EffectiveIdf(opts, *index_, t), opts.bm25, doclens, inv_avgdl));
   }
   auto union_op = std::make_unique<MergeUnionOperator>(&ctx, std::move(scored),
                                                        /*sum_scores=*/true);
   auto topk = std::make_unique<TopKOperator>(&ctx, std::move(union_op),
                                              opts.k);
+  topk->set_tombstones(opts.tombstones);
   TopKOperator* topk_raw = topk.get();
   vec::OperatorPtr root = std::move(topk);
   X100IR_RETURN_IF_ERROR(root->Open());
@@ -309,10 +322,9 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
   const uint32_t vsize = ctx.vector_size;
   const float k1 = opts.bm25.k1;
   const float bb = opts.bm25.b;
+  const double avgdl = EffectiveAvgDocLen(opts, *index_);
   const float inv_avgdl =
-      index_->avg_doc_len() > 0.0
-          ? static_cast<float>(1.0 / index_->avg_doc_len())
-          : 0.0f;
+      avgdl > 0.0 ? static_cast<float>(1.0 / avgdl) : 0.0f;
   const int32_t* doclens = index_->doc_lens().data();
   const float min_dl = static_cast<float>(index_->min_doc_len());
 
@@ -322,7 +334,7 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
     MsTerm& ts = states[i];
     const TermInfo& info = index_->term(terms[i]);
     ts.term = terms[i];
-    ts.idf = info.idf;
+    ts.idf = EffectiveIdf(opts, *index_, terms[i]);
     ts.df = info.doc_freq;
     ts.ub = Bm25One(ts.idf, static_cast<float>(info.max_tf), min_dl, k1, bb,
                     inv_avgdl);
@@ -436,6 +448,10 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
         partial += ts.scores[ts.voff];
         if (++ts.voff == ts.vlen) refill(ts);
       }
+      // Segmented read with deletes: the streams still advance past a dead
+      // doc (posting consumption is positional) but it is never a
+      // candidate — not scored, not probed, not counted.
+      if (TombstoneTest(opts.tombstones, d)) continue;
       cand_d[fill] = d;
       cand_s[fill] = partial;
       ++fill;

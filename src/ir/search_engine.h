@@ -27,6 +27,8 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "ir/bm25.h"
+#include "ir/collection_stats.h"
 #include "ir/index_builder.h"
 #include "ir/query_gen.h"
 #include "vec/scan.h"
@@ -111,7 +113,42 @@ struct SearchOptions {
   // Seed for the query's private ExecContext::rng stream. The engine never
   // draws from global state, so any fixed seed gives a reproducible query.
   uint64_t rng_seed = 0;
+
+  // Segmented-read plumbing (DESIGN.md §10), set by SearchSnapshot per
+  // segment — not part of the user-facing knob surface. Both borrowed,
+  // valid for the duration of the call; null means "score with the
+  // index's own build-time stats / no deletes", which is the monolithic
+  // behavior every pre-segmentation test pins.
+  //
+  // Live collection stats: per-term idf and avg_doc_len override the
+  // segment-local values so every segment of a snapshot scores under one
+  // global model.
+  const CollectionStats* global_stats = nullptr;
+  // Tombstone bitmap over *this index's local docids* (bit d = doc d
+  // deleted). Filtered in every path: boolean collect, union TopK drain,
+  // MaxScore candidates, and both storage-run passes. Deleted docs are
+  // excluded from results and from num_matches. (TombstoneTest lives in
+  // collection_stats.h.)
+  const uint64_t* tombstones = nullptr;
 };
+
+// Effective scoring statistics: the snapshot's live collection stats when
+// the call is a segmented read, the index's own build-time values
+// otherwise. Every scoring path (union, MaxScore, both storage passes)
+// resolves idf and avg_doc_len through these, so a segment always scores
+// under the global live model.
+inline float EffectiveIdf(const SearchOptions& opts, const InvertedIndex& idx,
+                          uint32_t term) {
+  return opts.global_stats != nullptr
+             ? Bm25Idf(opts.global_stats->num_docs,
+                       opts.global_stats->df[term])
+             : idx.term(term).idf;
+}
+inline double EffectiveAvgDocLen(const SearchOptions& opts,
+                                 const InvertedIndex& idx) {
+  return opts.global_stats != nullptr ? opts.global_stats->avg_doc_len
+                                      : idx.avg_doc_len();
+}
 
 struct SearchResult {
   // Ranked runs: top-k docids with scores, rank order (score desc, docid
@@ -139,6 +176,11 @@ struct SearchResult {
   // calls, vectors pruned, probes) — what the skipping tests and the
   // bench_table1_systems gates assert on.
   vec::ExecStats stats;
+
+  // Snapshot epoch the query executed against (0 until the first live
+  // update). Set by Database::Search; the during-merge bit-identity tests
+  // use it to pick which serial oracle a result must match.
+  uint64_t epoch = 0;
 
   // What Table 2 reports: real work plus simulated disk time.
   double TotalSeconds() const { return seconds + io_seconds; }

@@ -1,0 +1,186 @@
+#include "ir/segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "ir/index_meta.h"
+
+namespace x100ir::ir {
+namespace {
+
+Status WriteSegmentMeta(const std::string& path, uint32_t seg_id,
+                        const std::vector<int32_t>& global_docids) {
+  SegmentMetaHeader hdr;
+  hdr.seg_id = seg_id;
+  hdr.num_docs = static_cast<uint32_t>(global_docids.size());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOError("cannot create " + path);
+  bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+  ok = ok && (global_docids.empty() ||
+              std::fwrite(global_docids.data(),
+                          global_docids.size() * sizeof(int32_t), 1, f) == 1);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return IOError("short write to " + path);
+  return OkStatus();
+}
+
+Status ReadSegmentMeta(const std::string& path, uint32_t expect_seg_id,
+                       uint32_t expect_num_docs,
+                       std::vector<int32_t>* global_docids) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("cannot open " + path);
+  SegmentMetaHeader hdr;
+  bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1;
+  ok = ok && hdr.magic == SegmentMetaHeader::kMagic &&
+       hdr.version == SegmentMetaHeader::kVersion &&
+       hdr.seg_id == expect_seg_id && hdr.num_docs == expect_num_docs;
+  if (ok) {
+    global_docids->resize(hdr.num_docs);
+    ok = hdr.num_docs == 0 ||
+         std::fread(global_docids->data(), hdr.num_docs * sizeof(int32_t), 1,
+                    f) == 1;
+  }
+  std::fclose(f);
+  if (!ok) return IOError("bad or torn segment meta " + path);
+  for (uint32_t i = 1; i < hdr.num_docs; ++i) {
+    if ((*global_docids)[i] <= (*global_docids)[i - 1]) {
+      return IOError("segment docid map not strictly increasing in " + path);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Segment::OpenBase(const Corpus* corpus, const std::string& dir,
+                         BuildStats* stats, const StorageBinding& binding,
+                         std::unique_ptr<Segment>* out) {
+  if (corpus == nullptr) return InvalidArgument("base segment needs a corpus");
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->seg_id_ = 0;
+  seg->dir_ = dir;
+  seg->file_id_base_ = binding.file_id_base;
+  seg->base_layout_ = true;
+  seg->base_corpus_ = corpus;
+  X100IR_RETURN_IF_ERROR(
+      seg->index_.BuildFromCorpusShared(*corpus, dir, stats, binding));
+  *out = std::move(seg);
+  return OkStatus();
+}
+
+Status Segment::Build(std::vector<std::vector<DocTerm>> docs,
+                      std::vector<int32_t> global_docids, uint32_t vocab_size,
+                      const std::string& dir, const StorageBinding& binding,
+                      uint32_t seg_id, std::unique_ptr<Segment>* out) {
+  if (docs.size() != global_docids.size()) {
+    return InvalidArgument("segment build: docs / docid map size mismatch");
+  }
+  for (size_t i = 1; i < global_docids.size(); ++i) {
+    if (global_docids[i] <= global_docids[i - 1]) {
+      return InvalidArgument(
+          "segment build: global docids must be strictly increasing");
+    }
+  }
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->seg_id_ = seg_id;
+  seg->dir_ = dir;
+  seg->file_id_base_ = binding.file_id_base;
+  seg->owned_corpus_ = std::make_unique<Corpus>();
+  X100IR_RETURN_IF_ERROR(Corpus::FromDocTerms(std::move(docs), vocab_size,
+                                              seg->owned_corpus_.get()));
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return IOError("cannot create segment dir " + dir);
+  }
+  BuildStats stats;
+  X100IR_RETURN_IF_ERROR(seg->index_.BuildFromCorpusShared(
+      *seg->owned_corpus_, dir, &stats, binding));
+  seg->docid_map_ = std::move(global_docids);
+  if (!dir.empty()) {
+    X100IR_RETURN_IF_ERROR(WriteSegmentMeta(dir + "/" + kSegmentMetaFile,
+                                            seg_id, seg->docid_map_));
+  }
+  *out = std::move(seg);
+  return OkStatus();
+}
+
+Status Segment::Load(const std::string& dir, const StorageBinding& binding,
+                     uint32_t seg_id, uint32_t expect_num_docs,
+                     std::unique_ptr<Segment>* out) {
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->seg_id_ = seg_id;
+  seg->dir_ = dir;
+  seg->file_id_base_ = binding.file_id_base;
+  X100IR_RETURN_IF_ERROR(seg->index_.LoadFromDir(dir, binding));
+  if (seg->index_.num_docs() != expect_num_docs) {
+    return IOError(StrFormat("segment %u holds %u docs, manifest says %u",
+                             seg_id, seg->index_.num_docs(),
+                             expect_num_docs));
+  }
+  X100IR_RETURN_IF_ERROR(ReadSegmentMeta(dir + "/" + kSegmentMetaFile, seg_id,
+                                         expect_num_docs, &seg->docid_map_));
+  // Reconstruct the forward store by inverting the postings. Terms ascend
+  // in the outer loop, so each rebuilt document is normalized by
+  // construction; the doclens FromDocTerms recomputes are cross-checked
+  // against the persisted doclen column below.
+  const uint32_t n = seg->index_.num_docs();
+  std::vector<std::vector<DocTerm>> docs(n);
+  std::vector<int32_t> docids, tfs;
+  for (uint32_t t = 0; t < seg->index_.vocab_size(); ++t) {
+    if (seg->index_.term(t).doc_freq == 0) continue;
+    X100IR_RETURN_IF_ERROR(seg->index_.DecodePostings(t, &docids, &tfs));
+    for (size_t i = 0; i < docids.size(); ++i) {
+      if (docids[i] < 0 || static_cast<uint32_t>(docids[i]) >= n) {
+        return IOError("segment postings reference an out-of-range docid");
+      }
+      docs[docids[i]].push_back({t, tfs[i]});
+    }
+  }
+  seg->owned_corpus_ = std::make_unique<Corpus>();
+  X100IR_RETURN_IF_ERROR(Corpus::FromDocTerms(
+      std::move(docs), seg->index_.vocab_size(), seg->owned_corpus_.get()));
+  if (seg->owned_corpus_->doc_lens() != seg->index_.doc_lens()) {
+    return IOError("segment postings disagree with the doclen column");
+  }
+  *out = std::move(seg);
+  return OkStatus();
+}
+
+int32_t Segment::LocalOf(int32_t global) const {
+  if (docid_map_.empty()) {
+    return global >= 0 && static_cast<uint32_t>(global) < num_docs() ? global
+                                                                     : -1;
+  }
+  const auto it =
+      std::lower_bound(docid_map_.begin(), docid_map_.end(), global);
+  if (it == docid_map_.end() || *it != global) return -1;
+  return static_cast<int32_t>(it - docid_map_.begin());
+}
+
+Segment::~Segment() {
+  // Order matters: drop the pages and id→File bindings from the shared
+  // pool first (closing files out from under registered ids would leave
+  // the pool dangling), then the files themselves can go.
+  index_.DetachSharedStorage();
+  if (!retire_.load(std::memory_order_acquire) || dir_.empty()) return;
+  std::error_code ec;
+  if (base_layout_) {
+    // The base segment shares the database root with the manifest — delete
+    // exactly its own files, never the directory.
+    for (const char* name :
+         {kDocidRawFile, kDocidCompressedFile, kTfRawFile, kTfCompressedFile,
+          kScoreF32File, kScoreQ8File, kTermsFile, kDoclenFile,
+          kIndexMetaFile}) {
+      std::filesystem::remove(dir_ + "/" + name, ec);
+    }
+  } else {
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+}  // namespace x100ir::ir

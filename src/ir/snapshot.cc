@@ -1,0 +1,597 @@
+#include "ir/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "ir/index_meta.h"
+
+namespace x100ir::ir {
+namespace {
+
+// Copy-on-write tombstone set: never mutates the shared current bitmap
+// (snapshots born earlier keep reading their version), publishes a copy
+// with one more bit. `capacity_docs` is the owning structure's current doc
+// count: the copy is sized to cover ALL of it, not just the highest set
+// bit, because readers (TombstoneTest in the engine and the delta scans)
+// index by arbitrary live docids with no bounds check of their own — a
+// short bitmap would be an out-of-bounds read, not a "not deleted".
+TombstoneBits SetBitCow(const TombstoneBits& cur, uint32_t bit,
+                        uint32_t capacity_docs) {
+  const size_t need =
+      std::max<size_t>(bit / 64 + 1, capacity_docs / 64 + 1);
+  auto next = std::make_shared<std::vector<uint64_t>>(
+      cur != nullptr ? *cur : std::vector<uint64_t>());
+  if (next->size() < need) next->resize(need, 0);
+  (*next)[bit / 64] |= 1ull << (bit % 64);
+  return next;
+}
+
+std::string SegDir(const std::string& root, uint32_t seg_id) {
+  return root + "/seg_" + std::to_string(seg_id);
+}
+
+// Deletes every on-disk trace of segmented state under `root` (manifest
+// and seg_* directories) — the clean-rebuild fallback for a torn or
+// mismatched manifest. The base segment's column files stay: the fresh
+// open will reuse or rebuild them through the normal fingerprint check.
+void RemoveSegmentedState(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::remove(root + "/" + kManifestFile, ec);
+  fs::remove(root + "/" + kManifestTmpFile, ec);
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory(ec) &&
+        entry.path().filename().string().rfind("seg_", 0) == 0) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace
+
+SnapshotManager::~SnapshotManager() {
+  // Joining here (not relying on merge_pool_'s own destructor) makes the
+  // shutdown order explicit: the background merge finishes before any
+  // member it touches starts dying.
+  merge_pool_.Shutdown();
+}
+
+StorageBinding SnapshotManager::BindingFor(uint32_t seg_id) const {
+  StorageBinding b;
+  b.pool = pool_.get();
+  b.file_id_base = seg_id * IndexStorage::kFilesPerIndex;
+  return b;
+}
+
+Status SnapshotManager::Open(const Corpus* corpus, const std::string& dir,
+                             const storage::StorageOptions& storage,
+                             BuildStats* stats) {
+  if (corpus == nullptr) return InvalidArgument("snapshot manager needs a corpus");
+  if (stats == nullptr) return InvalidArgument("null build stats");
+  corpus_ = corpus;
+  dir_ = dir;
+  storage_opts_ = storage;
+  if (!dir_.empty()) {
+    disk_ = std::make_unique<storage::SimulatedDisk>(storage.disk);
+    pool_ = std::make_unique<storage::BufferManager>(
+        storage.pool_bytes, disk_.get(), storage.page_bytes, storage.shards);
+    pool_->set_retry_policy(storage.retry);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Status adopted = dir_.empty() ? NotFound("in-memory database")
+                                : TryLoadManifest(stats);
+  if (!adopted.ok()) {
+    // No manifest (fresh/legacy directory) or an unusable one (torn swap,
+    // corpus mismatch, torn segment): clean rebuild from the corpus. The
+    // corpus is generative, so this loses nothing that was ever merged
+    // under a *valid* manifest — only state the torn write already lost.
+    if (!dir_.empty()) RemoveSegmentedState(dir_);
+    segments_.clear();
+    std::unique_ptr<Segment> base;
+    X100IR_RETURN_IF_ERROR(
+        Segment::OpenBase(corpus_, dir_, stats, BindingFor(0), &base));
+    segments_.push_back({std::shared_ptr<Segment>(std::move(base)), nullptr});
+    epoch_ = 0;
+    next_seg_id_ = 1;
+    next_docid_ = static_cast<int32_t>(corpus_->num_docs());
+    live_num_docs_ = corpus_->num_docs();
+    live_total_len_ = 0;
+    for (int32_t len : corpus_->doc_lens()) {
+      live_total_len_ += static_cast<uint64_t>(len);
+    }
+    live_df_.assign(corpus_->vocab_size(), 0);
+    const InvertedIndex& idx = segments_[0].seg->index();
+    for (uint32_t t = 0; t < idx.vocab_size(); ++t) {
+      live_df_[t] = idx.term(t).doc_freq;
+    }
+  }
+  sealed_.clear();
+  sealed_tombs_.clear();
+  delta_ = std::make_shared<DeltaSegment>(corpus_->vocab_size(), next_docid_);
+  delta_tombs_.reset();
+  merge_deletes_.clear();
+  PublishLocked();
+  return OkStatus();
+}
+
+Status SnapshotManager::TryLoadManifest(BuildStats* stats) {
+  const std::string path = dir_ + "/" + kManifestFile;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("no manifest under " + dir_);
+  ManifestHeader hdr;
+  bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1;
+  ok = ok && hdr.magic == ManifestHeader::kMagic &&
+       hdr.version == ManifestHeader::kVersion &&
+       hdr.corpus_fingerprint == corpus_->Fingerprint() &&
+       hdr.num_segments <= 1u << 20;
+  std::vector<ManifestSegment> entries;
+  std::vector<std::vector<uint64_t>> tomb_words;
+  if (ok) {
+    entries.resize(hdr.num_segments);
+    tomb_words.resize(hdr.num_segments);
+    for (uint32_t i = 0; ok && i < hdr.num_segments; ++i) {
+      ok = std::fread(&entries[i], sizeof(ManifestSegment), 1, f) == 1;
+      const uint32_t max_words = entries[i].num_docs / 64 + 1;
+      ok = ok && entries[i].num_tombstone_words <= max_words;
+      if (ok && entries[i].num_tombstone_words > 0) {
+        tomb_words[i].resize(entries[i].num_tombstone_words);
+        ok = std::fread(tomb_words[i].data(),
+                        entries[i].num_tombstone_words * sizeof(uint64_t), 1,
+                        f) == 1;
+      }
+    }
+  }
+  std::fclose(f);
+  if (!ok) return IOError("torn or mismatched manifest under " + dir_);
+
+  std::vector<Snapshot::SegmentRead> segs;
+  int32_t max_global = -1;
+  uint32_t max_seg_id = 0;
+  for (uint32_t i = 0; i < hdr.num_segments; ++i) {
+    const ManifestSegment& e = entries[i];
+    std::unique_ptr<Segment> seg;
+    if (e.seg_id == 0) {
+      if (e.num_docs != corpus_->num_docs()) {
+        return IOError("manifest base segment disagrees with the corpus");
+      }
+      X100IR_RETURN_IF_ERROR(
+          Segment::OpenBase(corpus_, dir_, stats, BindingFor(0), &seg));
+    } else {
+      X100IR_RETURN_IF_ERROR(Segment::Load(SegDir(dir_, e.seg_id),
+                                           BindingFor(e.seg_id), e.seg_id,
+                                           e.num_docs, &seg));
+      // A manifest-loaded reuse is a reuse for reporting purposes.
+      stats->reused_files = true;
+      stats->num_postings += seg->index().num_postings();
+    }
+    max_seg_id = std::max(max_seg_id, e.seg_id);
+    if (seg->num_docs() > 0) {
+      max_global = std::max(max_global,
+                            seg->GlobalOf(static_cast<int32_t>(
+                                seg->num_docs() - 1)));
+    }
+    TombstoneBits tombs;
+    if (!tomb_words[i].empty()) {
+      // Manifests written by this code are full-coverage already; pad any
+      // shorter (but magic-valid) bitmap rather than trust it.
+      tomb_words[i].resize(seg->num_docs() / 64 + 1, 0);
+      tombs = std::make_shared<std::vector<uint64_t>>(
+          std::move(tomb_words[i]));
+    }
+    segs.push_back({std::shared_ptr<Segment>(std::move(seg)), tombs});
+  }
+  if (hdr.next_seg_id <= max_seg_id && hdr.num_segments > 0) {
+    return IOError("manifest seg-id allocator behind its own segments");
+  }
+  if (hdr.next_docid <= max_global) {
+    return IOError("manifest docid allocator behind its own segments");
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const Snapshot::SegmentRead& a, const Snapshot::SegmentRead& b) {
+              return a.seg->min_global() < b.seg->min_global();
+            });
+  segments_ = std::move(segs);
+  epoch_ = hdr.epoch;
+  next_seg_id_ = hdr.next_seg_id;
+  next_docid_ = hdr.next_docid;
+  RecountLiveStatsLocked();
+  return OkStatus();
+}
+
+void SnapshotManager::RecountLiveStatsLocked() {
+  live_num_docs_ = 0;
+  live_total_len_ = 0;
+  live_df_.assign(corpus_->vocab_size(), 0);
+  for (const Snapshot::SegmentRead& sr : segments_) {
+    const uint64_t* bits =
+        sr.tombstones != nullptr ? sr.tombstones->data() : nullptr;
+    for (uint32_t local = 0; local < sr.seg->num_docs(); ++local) {
+      if (TombstoneTest(bits, static_cast<int32_t>(local))) continue;
+      ++live_num_docs_;
+      live_total_len_ += static_cast<uint64_t>(sr.seg->doc_len(local));
+      for (const DocTerm& dt : sr.seg->doc(local)) ++live_df_[dt.term];
+    }
+  }
+}
+
+std::shared_ptr<const CollectionStats> SnapshotManager::FreezeStatsLocked()
+    const {
+  auto stats = std::make_shared<CollectionStats>();
+  stats->num_docs = live_num_docs_;
+  stats->avg_doc_len =
+      live_num_docs_ == 0
+          ? 0.0
+          : static_cast<double>(live_total_len_) /
+                static_cast<double>(live_num_docs_);
+  stats->df = live_df_;
+  return stats;
+}
+
+void SnapshotManager::PublishLocked() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch_;
+  snap->segments = segments_;
+  for (size_t i = 0; i < sealed_.size(); ++i) {
+    snap->deltas.push_back(
+        {sealed_[i], sealed_[i]->num_docs(), sealed_tombs_[i]});
+  }
+  const uint32_t active_visible = delta_->num_docs();
+  if (active_visible > 0) {
+    snap->deltas.push_back({delta_, active_visible, delta_tombs_});
+  }
+  snap->stats = FreezeStatsLocked();
+  bool no_tombs = true;
+  for (const Snapshot::SegmentRead& sr : segments_) {
+    no_tombs = no_tombs && sr.tombstones == nullptr;
+  }
+  snap->plain = segments_.size() == 1 && segments_[0].seg->identity_map() &&
+                snap->deltas.empty() && no_tombs;
+  current_ = std::move(snap);
+}
+
+std::shared_ptr<const Snapshot> SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotManager::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+Status SnapshotManager::AddDocument(const std::vector<uint32_t>& terms,
+                                    int32_t* docid) {
+  if (terms.empty()) return InvalidArgument("document has no terms");
+  std::vector<uint32_t> sorted = terms;
+  for (uint32_t t : sorted) {
+    if (t >= corpus_->vocab_size()) {
+      return InvalidArgument(StrFormat("term %u outside vocabulary", t));
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<DocTerm> doc;
+  int32_t len = 0;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    doc.push_back({sorted[i], static_cast<int32_t>(j - i)});
+    len += static_cast<int32_t>(j - i);
+    i = j;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // The active delta is only ever sealed while holding mu_ (StartMerge),
+  // and sealing installs a fresh active delta in the same critical
+  // section, so this Add cannot race a seal.
+  int32_t id = -1;
+  X100IR_RETURN_IF_ERROR(delta_->Add(std::move(doc), &id));
+  // Keep the coverage invariant (SetBitCow): an existing delta bitmap must
+  // span the delta's new doc count, or readers of the next snapshot would
+  // index past it. COW — earlier snapshots keep their pairing.
+  if (delta_tombs_ != nullptr &&
+      delta_tombs_->size() < delta_->num_docs() / 64 + 1) {
+    auto grown = std::make_shared<std::vector<uint64_t>>(*delta_tombs_);
+    grown->resize(delta_->num_docs() / 64 + 1, 0);
+    delta_tombs_ = std::move(grown);
+  }
+  ++live_num_docs_;
+  live_total_len_ += static_cast<uint64_t>(len);
+  for (const DocTerm& dt : delta_->doc(static_cast<uint32_t>(
+           id - delta_->base_docid()))) {
+    ++live_df_[dt.term];
+  }
+  ++next_docid_;
+  ++epoch_;
+  PublishLocked();
+  if (docid != nullptr) *docid = id;
+  return OkStatus();
+}
+
+Status SnapshotManager::DeleteDocument(int32_t docid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (docid < 0 || docid >= next_docid_) {
+    return NotFound(StrFormat("docid %d was never allocated", docid));
+  }
+
+  const std::vector<DocTerm>* doc = nullptr;
+  int32_t len = 0;
+  bool persistent_owner = false;
+
+  if (docid >= delta_->base_docid()) {
+    const uint32_t local = static_cast<uint32_t>(docid - delta_->base_docid());
+    if (local >= delta_->num_docs()) {
+      return NotFound(StrFormat("docid %d was never allocated", docid));
+    }
+    const uint64_t* bits =
+        delta_tombs_ != nullptr ? delta_tombs_->data() : nullptr;
+    if (TombstoneTest(bits, static_cast<int32_t>(local))) {
+      return NotFound(StrFormat("docid %d is already deleted", docid));
+    }
+    delta_tombs_ = SetBitCow(delta_tombs_, local, delta_->num_docs());
+    doc = &delta_->doc(local);
+    len = delta_->doc_len(local);
+  } else {
+    for (size_t i = 0; doc == nullptr && i < sealed_.size(); ++i) {
+      DeltaSegment& sd = *sealed_[i];
+      if (docid < sd.base_docid() ||
+          docid >= sd.base_docid() + static_cast<int32_t>(sd.num_docs())) {
+        continue;
+      }
+      const uint32_t local = static_cast<uint32_t>(docid - sd.base_docid());
+      const uint64_t* bits =
+          sealed_tombs_[i] != nullptr ? sealed_tombs_[i]->data() : nullptr;
+      if (TombstoneTest(bits, static_cast<int32_t>(local))) {
+        return NotFound(StrFormat("docid %d is already deleted", docid));
+      }
+      sealed_tombs_[i] = SetBitCow(sealed_tombs_[i], local, sd.num_docs());
+      doc = &sd.doc(local);
+      len = sd.doc_len(local);
+    }
+    for (size_t i = 0; doc == nullptr && i < segments_.size(); ++i) {
+      Snapshot::SegmentRead& sr = segments_[i];
+      const int32_t local = sr.seg->LocalOf(docid);
+      if (local < 0) continue;
+      const uint64_t* bits =
+          sr.tombstones != nullptr ? sr.tombstones->data() : nullptr;
+      if (TombstoneTest(bits, local)) {
+        return NotFound(StrFormat("docid %d is already deleted", docid));
+      }
+      sr.tombstones = SetBitCow(sr.tombstones, static_cast<uint32_t>(local),
+                                sr.seg->num_docs());
+      doc = &sr.seg->doc(static_cast<uint32_t>(local));
+      len = sr.seg->doc_len(static_cast<uint32_t>(local));
+      persistent_owner = true;
+    }
+  }
+  if (doc == nullptr) {
+    // Allocated range but between structures: the doc was merged away and
+    // its segment replaced — only possible for an already-deleted doc
+    // (merges carry every live doc forward).
+    return NotFound(StrFormat("docid %d is already deleted", docid));
+  }
+
+  --live_num_docs_;
+  live_total_len_ -= static_cast<uint64_t>(len);
+  for (const DocTerm& dt : *doc) --live_df_[dt.term];
+  if (merge_running_ && docid < merge_cutoff_) {
+    merge_deletes_.push_back(docid);
+  }
+  ++epoch_;
+  // Deletes of persisted documents are durable: re-write the manifest so a
+  // reopen does not resurrect the doc. (Delta documents are volatile by
+  // design, so their tombstones are too.) A manifest write failure leaves
+  // the in-memory delete applied and reports the error — the reopen then
+  // resurrects, it never loses.
+  Status persisted =
+      persistent_owner && !dir_.empty() ? WriteManifestLocked() : OkStatus();
+  PublishLocked();
+  return persisted;
+}
+
+Status SnapshotManager::WriteManifestLocked() {
+  const std::string tmp = dir_ + "/" + kManifestTmpFile;
+  const std::string path = dir_ + "/" + kManifestFile;
+  ManifestHeader hdr;
+  hdr.corpus_fingerprint = corpus_->Fingerprint();
+  hdr.epoch = epoch_;
+  hdr.num_segments = static_cast<uint32_t>(segments_.size());
+  hdr.next_seg_id = next_seg_id_;
+  hdr.next_docid = next_docid_;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return IOError("cannot create " + tmp);
+  bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+  for (const Snapshot::SegmentRead& sr : segments_) {
+    ManifestSegment e;
+    e.seg_id = sr.seg->seg_id();
+    e.num_docs = sr.seg->num_docs();
+    e.num_tombstone_words =
+        sr.tombstones != nullptr
+            ? static_cast<uint32_t>(sr.tombstones->size())
+            : 0;
+    ok = ok && std::fwrite(&e, sizeof(e), 1, f) == 1;
+    if (e.num_tombstone_words > 0) {
+      ok = ok && std::fwrite(sr.tombstones->data(),
+                             e.num_tombstone_words * sizeof(uint64_t), 1,
+                             f) == 1;
+    }
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return IOError("short write to " + tmp);
+  // The atomic commit point: the manifest appears complete or not at all.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IOError("cannot swap manifest into place");
+  }
+  return OkStatus();
+}
+
+bool SnapshotManager::merge_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merge_running_;
+}
+
+Status SnapshotManager::StartMerge() {
+  MergeInput input;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (merge_running_) {
+      return FailedPrecondition("a merge is already running");
+    }
+    delta_->Seal();
+    sealed_.push_back(delta_);
+    sealed_tombs_.push_back(delta_tombs_);
+    delta_ = std::make_shared<DeltaSegment>(corpus_->vocab_size(),
+                                            next_docid_);
+    delta_tombs_.reset();
+    input.segments = segments_;
+    for (size_t i = 0; i < sealed_.size(); ++i) {
+      input.deltas.push_back(
+          {sealed_[i], sealed_[i]->num_docs(), sealed_tombs_[i]});
+    }
+    input.seg_id = next_seg_id_++;
+    merge_cutoff_ = next_docid_;
+    merge_deletes_.clear();
+    merge_running_ = true;
+    merge_status_ = OkStatus();
+    ++epoch_;
+    PublishLocked();
+  }
+  merge_pool_.Submit(
+      [this, in = std::move(input)]() mutable { RunMerge(std::move(in)); });
+  return OkStatus();
+}
+
+Status SnapshotManager::WaitMerge() {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_cv_.wait(lock, [this] { return !merge_running_; });
+  return merge_status_;
+}
+
+Status SnapshotManager::Merge() {
+  X100IR_RETURN_IF_ERROR(StartMerge());
+  return WaitMerge();
+}
+
+Status SnapshotManager::BuildMergedSegment(const MergeInput& input,
+                                           std::shared_ptr<Segment>* out) {
+  // Gather every live input document in global docid order: segments come
+  // first (ascending bases, ascending within), then the sealed deltas —
+  // whose bases are by construction above every committed segment's
+  // globals.
+  std::vector<std::vector<DocTerm>> docs;
+  std::vector<int32_t> globals;
+  for (const Snapshot::SegmentRead& sr : input.segments) {
+    const uint64_t* bits =
+        sr.tombstones != nullptr ? sr.tombstones->data() : nullptr;
+    for (uint32_t local = 0; local < sr.seg->num_docs(); ++local) {
+      if (TombstoneTest(bits, static_cast<int32_t>(local))) continue;
+      globals.push_back(sr.seg->GlobalOf(static_cast<int32_t>(local)));
+      docs.push_back(sr.seg->doc(local));
+    }
+  }
+  for (const Snapshot::DeltaRead& dr : input.deltas) {
+    const uint64_t* bits =
+        dr.tombstones != nullptr ? dr.tombstones->data() : nullptr;
+    for (uint32_t local = 0; local < dr.visible; ++local) {
+      if (TombstoneTest(bits, static_cast<int32_t>(local))) continue;
+      globals.push_back(dr.delta->base_docid() + static_cast<int32_t>(local));
+      docs.push_back(dr.delta->doc(local));
+    }
+  }
+  if (docs.empty()) {
+    // Everything is deleted: the merge commits an empty segment set.
+    out->reset();
+    return OkStatus();
+  }
+  const std::string dir = dir_.empty() ? "" : SegDir(dir_, input.seg_id);
+  std::unique_ptr<Segment> seg;
+  X100IR_RETURN_IF_ERROR(Segment::Build(std::move(docs), std::move(globals),
+                                        corpus_->vocab_size(), dir,
+                                        BindingFor(input.seg_id),
+                                        input.seg_id, &seg));
+  *out = std::shared_ptr<Segment>(std::move(seg));
+  return OkStatus();
+}
+
+void SnapshotManager::RunMerge(MergeInput input) {
+  std::shared_ptr<Segment> merged;
+  Status s = BuildMergedSegment(input, &merged);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s.ok()) s = CommitMergeLocked(input, merged);
+    if (!s.ok() && merged != nullptr) {
+      // The built-but-uncommitted segment is garbage: arm deletion and let
+      // the release below (outside no snapshot ever saw it) clean up.
+      merged->set_retire_on_release();
+    }
+    merge_status_ = s;
+  }
+  // Drop every reference this merge holds BEFORE announcing completion: a
+  // WaitMerge caller may be the only other holder of a replaced segment and
+  // expects its release to be the last one. Retirement deletes files, so it
+  // must also happen outside mu_.
+  merged.reset();
+  input = MergeInput();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    merge_running_ = false;
+  }
+  merge_cv_.notify_all();
+}
+
+Status SnapshotManager::CommitMergeLocked(const MergeInput& input,
+                                          std::shared_ptr<Segment> merged) {
+  // Deletes that landed during the merge targeted documents the merge
+  // carried forward — re-apply them as tombstones on the new segment.
+  TombstoneBits merged_tombs;
+  if (merged != nullptr) {
+    std::vector<uint64_t> words;
+    for (int32_t g : merge_deletes_) {
+      const int32_t local = merged->LocalOf(g);
+      if (local < 0) return Internal("merge journal names an unmerged doc");
+      // Full-coverage sizing, same invariant as SetBitCow.
+      words.resize(merged->num_docs() / 64 + 1, 0);
+      words[static_cast<uint32_t>(local) / 64] |=
+          1ull << (static_cast<uint32_t>(local) % 64);
+    }
+    if (!words.empty()) {
+      merged_tombs = std::make_shared<std::vector<uint64_t>>(std::move(words));
+    }
+  }
+
+  std::vector<Snapshot::SegmentRead> old = std::move(segments_);
+  segments_.clear();
+  if (merged != nullptr) segments_.push_back({merged, merged_tombs});
+  sealed_.clear();
+  sealed_tombs_.clear();
+  ++epoch_;
+  if (!dir_.empty()) {
+    Status written = WriteManifestLocked();
+    if (!written.ok()) {
+      // The swap never happened: restore the old segment set so the
+      // in-memory state keeps matching the on-disk manifest. The sealed
+      // delta was already compacted INTO `merged`, which we are dropping —
+      // re-adopt it so no document is lost.
+      segments_ = std::move(old);
+      for (const Snapshot::DeltaRead& dr : input.deltas) {
+        sealed_.push_back(dr.delta);
+        sealed_tombs_.push_back(dr.tombstones);
+      }
+      // Deletes that were journaled for the merged segment are already in
+      // the old structures' tombstones (DeleteDocument sets both), so
+      // nothing to replay.
+      PublishLocked();
+      return written;
+    }
+  }
+  for (const Snapshot::SegmentRead& sr : old) {
+    sr.seg->set_retire_on_release();
+  }
+  PublishLocked();
+  return OkStatus();
+}
+
+}  // namespace x100ir::ir

@@ -138,6 +138,10 @@ class ValueWindowCache {
 struct ColdTerm {
   uint32_t term = 0;
   const TermInfo* info = nullptr;
+  // Scoring idf: the snapshot's live idf for the tf-scoring runs (T/TC),
+  // always the build-time idf for the materialized runs — their score
+  // columns were baked with it, so live stats cannot apply.
+  float idf = 0.0f;
   float ub = 0.0f;
   bool selective = false;
 
@@ -164,10 +168,16 @@ Status SearchEngine::SearchColdRun(RunType type,
   ctx.rng = Rng(opts.rng_seed);
   X100IR_RETURN_IF_ERROR(ctx.Validate());
 
+  // The tf-scoring runs (T/TC) score under the snapshot's live stats when
+  // present; the materialized runs keep the build-time stats their score
+  // columns were baked with (both for the values and for the upper bounds
+  // — a bound computed under different stats than the scores would not be
+  // a bound).
+  const double eff_avgdl = cols.value_is_score
+                               ? index_->avg_doc_len()
+                               : EffectiveAvgDocLen(opts, *index_);
   const float inv_avgdl =
-      index_->avg_doc_len() > 0.0
-          ? static_cast<float>(1.0 / index_->avg_doc_len())
-          : 0.0f;
+      eff_avgdl > 0.0 ? static_cast<float>(1.0 / eff_avgdl) : 0.0f;
   const float min_dl = static_cast<float>(index_->min_doc_len());
   const int32_t* doclens = index_->doc_lens().data();
   const uint32_t df_cutoff =
@@ -183,7 +193,9 @@ Status SearchEngine::SearchColdRun(RunType type,
     ColdTerm& ts = states[i];
     ts.term = terms[i];
     ts.info = &index_->term(terms[i]);
-    ts.ub = Bm25One(ts.info->idf, static_cast<float>(ts.info->max_tf),
+    ts.idf = cols.value_is_score ? ts.info->idf
+                                 : EffectiveIdf(opts, *index_, terms[i]);
+    ts.ub = Bm25One(ts.idf, static_cast<float>(ts.info->max_tf),
                     min_dl, cols.k1, cols.b, inv_avgdl) +
             cols.ub_slack;
     ts.selective = ts.info->doc_freq <= df_cutoff;
@@ -235,7 +247,7 @@ Status SearchEngine::SearchColdRun(RunType type,
         std::vector<int32_t> tfs(df), dls(df);
         X100IR_RETURN_IF_ERROR(cols.value->Read(start, df, tfs.data()));
         for (uint32_t j = 0; j < df; ++j) dls[j] = doclens[ts.docids[j]];
-        MapBm25(df, ts.scores.data(), tfs.data(), dls.data(), ts.info->idf,
+        MapBm25(df, ts.scores.data(), tfs.data(), dls.data(), ts.idf,
                 cols.k1, cols.b, inv_avgdl);
         ++ctx.stats.primitive_calls;
       }
@@ -282,6 +294,9 @@ Status SearchEngine::SearchColdRun(RunType type,
           ++ts.off;
         }
       }
+      // Segmented read with deletes: a dead doc is consumed off the short
+      // lists (positional) but never becomes a candidate.
+      if (TombstoneTest(opts.tombstones, d)) continue;
       ++candidates;
       float remaining = u_long;
       bool viable = true;
@@ -307,7 +322,7 @@ Status SearchEngine::SearchColdRun(RunType type,
             } else {
               int32_t tf = 0;
               X100IR_RETURN_IF_ERROR(ts.values.TfAt(p, &tf));
-              s += Bm25One(ts.info->idf, static_cast<float>(tf),
+              s += Bm25One(ts.idf, static_cast<float>(tf),
                            static_cast<float>(doclens[d]), cols.k1, cols.b,
                            inv_avgdl);
             }
@@ -360,7 +375,7 @@ Status SearchEngine::SearchColdRun(RunType type,
         scored.push_back(std::move(scan));
       } else {
         scored.push_back(std::make_unique<Bm25ScoreOperator>(
-            &ctx, std::move(scan), states[i].info->idf, opts.bm25, doclens,
+            &ctx, std::move(scan), states[i].idf, opts.bm25, doclens,
             inv_avgdl));
       }
     }
@@ -368,6 +383,7 @@ Status SearchEngine::SearchColdRun(RunType type,
         &ctx, std::move(scored), /*sum_scores=*/true);
     auto topk_op =
         std::make_unique<TopKOperator>(&ctx, std::move(union_op), opts.k);
+    topk_op->set_tombstones(opts.tombstones);
     TopKOperator* topk_raw = topk_op.get();
     vec::OperatorPtr root = std::move(topk_op);
     X100IR_RETURN_IF_ERROR(root->Open());

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ir/collection_stats.h"
 #include "vec/primitives.h"
 #include "vec/scan.h"
 
@@ -99,6 +100,11 @@ class TopKOperator : public vec::Operator {
   // for a disjunctive ranked query). Valid after the first Next.
   uint64_t rows_consumed() const { return rows_consumed_; }
 
+  // Borrowed tombstone bitmap over the child's docid space (segmented
+  // reads, search_engine.h). Deleted rows are dropped before the heap and
+  // excluded from rows_consumed. Must be set before Open.
+  void set_tombstones(const uint64_t* bits) { tombstones_ = bits; }
+
   Status Open() override {
     if (child_ == nullptr) return InvalidArgument("top-k needs a child");
     if (ctx_ == nullptr) {
@@ -163,16 +169,32 @@ class TopKOperator : public vec::Operator {
       if (b == nullptr) break;
       const int32_t* docids = b->columns[0]->Data<int32_t>();
       const float* scores = b->columns[1]->Data<float>();
-      rows_consumed_ += b->ActiveCount();
-      // Branch-free candidate filter: >= (not >) so a score tying the
-      // current kth can still win on the docid tiebreak inside Push.
-      const uint32_t n_cand = vec::SelectColVal<vec::GeCmp, float>(
-          b->count, b->sel, b->sel_count, cand_sel_.data(), scores,
-          topk_.threshold());
-      ++ctx_->stats.primitive_calls;
-      for (uint32_t j = 0; j < n_cand; ++j) {
-        const vec::sel_t i = cand_sel_[j];
-        topk_.Push(docids[i], scores[i]);
+      if (tombstones_ == nullptr) {
+        rows_consumed_ += b->ActiveCount();
+        // Branch-free candidate filter: >= (not >) so a score tying the
+        // current kth can still win on the docid tiebreak inside Push.
+        const uint32_t n_cand = vec::SelectColVal<vec::GeCmp, float>(
+            b->count, b->sel, b->sel_count, cand_sel_.data(), scores,
+            topk_.threshold());
+        ++ctx_->stats.primitive_calls;
+        for (uint32_t j = 0; j < n_cand; ++j) {
+          const vec::sel_t i = cand_sel_[j];
+          topk_.Push(docids[i], scores[i]);
+        }
+      } else {
+        // Segmented read with deletes: drop dead rows before the heap and
+        // keep num_matches an exact live count. The heap's final content
+        // is push-order-independent (exact top-k under (score, docid)),
+        // so this branchy path stays bit-identical to an index rebuilt
+        // without the deleted docs.
+        const uint32_t active =
+            b->sel != nullptr ? b->sel_count : b->count;
+        for (uint32_t j = 0; j < active; ++j) {
+          const uint32_t i = b->sel != nullptr ? b->sel[j] : j;
+          if (TombstoneTest(tombstones_, docids[i])) continue;
+          ++rows_consumed_;
+          if (scores[i] >= topk_.threshold()) topk_.Push(docids[i], scores[i]);
+        }
       }
     }
     topk_.FinishSorted(&result_docids_, &result_scores_);
@@ -182,6 +204,7 @@ class TopKOperator : public vec::Operator {
   vec::ExecContext* ctx_;
   vec::OperatorPtr child_;
   TopK topk_;
+  const uint64_t* tombstones_ = nullptr;
   std::vector<vec::sel_t> cand_sel_;
   std::vector<int32_t> result_docids_;
   std::vector<float> result_scores_;

@@ -27,6 +27,9 @@ Status QueryService::Start(const core::Database* db,
   if (opts_.fault_window == 0) opts_.fault_window = 1;
   if (opts_.probe_interval == 0) opts_.probe_interval = 1;
   root_rng_ = std::make_unique<Rng>(opts_.rng_seed);
+  cache_ = opts_.result_cache_entries > 0
+               ? std::make_unique<ResultCache>(opts_.result_cache_entries)
+               : nullptr;
   window_.assign(opts_.fault_window, 0);
   window_pos_ = window_filled_ = window_faults_ = 0;
   mode_.store(ServiceMode::kNormal, std::memory_order_relaxed);
@@ -41,7 +44,22 @@ Status QueryService::Submit(const QueryRequest& request,
   const uint64_t ordinal =
       submitted_.fetch_add(1, std::memory_order_relaxed);
 
-  // Ladder refusal first: a refusing service sheds load *before* the
+  // Result cache first — even ahead of the ladder: a hit touches no
+  // storage, so serving it costs a refusing service nothing and sheds a
+  // whole query's worth of load from the sick device.
+  if (cache_ != nullptr) {
+    QueryResponse hit;
+    if (cache_->Lookup(
+            ResultCacheKey(request.query, request.run, request.opts),
+            db_->epoch(), &hit.result)) {
+      hit.status = OkStatus();
+      hit.executed_run = request.run;
+      done(std::move(hit));
+      return OkStatus();
+    }
+  }
+
+  // Ladder refusal next: a refusing service sheds load *before* the
   // capacity check, admitting only the probe stream that can heal it.
   if (mode() == ServiceMode::kRefusing) {
     if (ordinal % opts_.probe_interval != 0) {
@@ -193,6 +211,15 @@ void QueryService::RunQuery(QueryRequest request, uint64_t ordinal,
   }
   RecordOutcome(fault);
 
+  // Cache only full-fidelity successes: a degraded (remapped-run) result
+  // must not be replayed to a healthy-mode request for the original run.
+  // Insert validates the result's snapshot epoch against the cache's, so a
+  // query that raced a commit never publishes its stale answer.
+  if (cache_ != nullptr && resp.status.ok() && !resp.degraded) {
+    cache_->Insert(ResultCacheKey(request.query, request.run, request.opts),
+                   resp.result.epoch, resp.result);
+  }
+
   done(std::move(resp));
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -271,6 +298,13 @@ ServiceStats QueryService::stats() const {
   s.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
   s.probes_admitted = probes_.load(std::memory_order_relaxed);
   s.mode_transitions = transitions_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const ResultCacheStats cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_evictions = cs.evictions;
+    s.cache_invalidations = cs.invalidations;
+  }
   s.mode = mode();
   return s;
 }

@@ -46,6 +46,7 @@
 #include "common/thread_pool.h"
 #include "core/database.h"
 #include "ir/search_engine.h"
+#include "server/result_cache.h"
 
 namespace x100ir::server {
 
@@ -97,6 +98,13 @@ struct QueryServiceOptions {
   // In Refusing, every Nth submission is admitted as a probe; its outcome
   // feeds the window, so recovered storage de-escalates the ladder.
   uint32_t probe_interval = 8;
+
+  // Result cache entries (0 = disabled). A repeated request (same run,
+  // normalized term set, k, and scoring knobs) is answered synchronously
+  // from the cache without admission — no queue slot, no worker, no I/O.
+  // Entries are tagged with the snapshot epoch; any live update (add,
+  // delete, merge commit) invalidates the whole cache (result_cache.h).
+  uint32_t result_cache_entries = 0;
 };
 
 struct QueryRequest {
@@ -117,9 +125,10 @@ struct QueryResponse {
   uint32_t retries = 0;     // service-level re-runs this query consumed
 };
 
-// Monotonic service counters (all since Start). submitted = admitted +
-// shed_queue_full + refused_unavailable; admitted = the sum of the five
-// outcome rows once Drain() has run.
+// Monotonic service counters (all since Start). submitted = cache_hits +
+// admitted + shed_queue_full + refused_unavailable; admitted = the sum of
+// the five outcome rows once Drain() has run. Cache hits are served at
+// submission and never admitted, so they appear in no outcome row.
 struct ServiceStats {
   uint64_t submitted = 0;
   uint64_t admitted = 0;
@@ -133,6 +142,11 @@ struct ServiceStats {
   uint64_t degraded_queries = 0;     // executed with a remapped run
   uint64_t probes_admitted = 0;      // admitted while Refusing
   uint64_t mode_transitions = 0;     // ladder moves (either direction)
+  // Result cache (all zero when result_cache_entries == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;  // whole-cache drops on epoch change
   ServiceMode mode = ServiceMode::kNormal;
 };
 
@@ -146,9 +160,10 @@ class QueryService {
   // `db` is borrowed, must be open, and must outlive the service.
   Status Start(const core::Database* db, const QueryServiceOptions& opts);
 
-  // Admission: OK means the query was enqueued and `done` will be invoked
-  // exactly once from a worker thread; any error means it was NOT enqueued
-  // and `done` will never run (the error itself is the response).
+  // Admission: OK means `done` will be invoked exactly once — from a
+  // worker thread after execution, or synchronously from Submit itself on
+  // a result-cache hit; any error means the query was NOT enqueued and
+  // `done` will never run (the error itself is the response).
   // Thread-safe; callable from any thread, including from callbacks.
   Status Submit(const QueryRequest& request,
                 std::function<void(QueryResponse)> done);
@@ -189,6 +204,7 @@ class QueryService {
   QueryServiceOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Rng> root_rng_;  // only Fork()ed, never advanced
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
 
   // Admission + drain bookkeeping.
   std::atomic<uint64_t> pending_{0};

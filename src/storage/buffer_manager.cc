@@ -40,27 +40,62 @@ Status BufferManager::RegisterFile(uint32_t file_id, const File* file) {
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(shards_.size());
     for (auto& shard : shards_) locks.emplace_back(shard->mu);
-    for (auto& shard : shards_) {
-      for (const auto& [key, frame] : shard->frames) {
-        if ((key >> 40) == file_id && frame.refcount != 0) {
-          return FailedPrecondition(
-              "re-registering a file with pinned pages");
-        }
-      }
-    }
-    for (auto& shard : shards_) {
-      for (auto fit = shard->frames.begin(); fit != shard->frames.end();) {
-        if ((fit->first >> 40) == file_id) {
-          if (fit->second.in_lru) shard->lru.erase(fit->second.lru_pos);
-          shard->resident_bytes -= fit->second.data.size();
-          fit = shard->frames.erase(fit);
-        } else {
-          ++fit;
-        }
-      }
+    Status dropped = DropFilePagesLocked(file_id);
+    if (!dropped.ok()) {
+      return FailedPrecondition("re-registering a file with pinned pages");
     }
   }
   files_[file_id] = file;
+  return OkStatus();
+}
+
+Status BufferManager::DropFilePagesLocked(uint32_t file_id) {
+  for (auto& shard : shards_) {
+    for (const auto& [key, frame] : shard->frames) {
+      if ((key >> 40) == file_id && frame.refcount != 0) {
+        return FailedPrecondition(
+            StrFormat("evicting file %u with pinned pages", file_id));
+      }
+    }
+  }
+  for (auto& shard : shards_) {
+    for (auto fit = shard->frames.begin(); fit != shard->frames.end();) {
+      if ((fit->first >> 40) == file_id) {
+        if (fit->second.in_lru) shard->lru.erase(fit->second.lru_pos);
+        shard->resident_bytes -= fit->second.data.size();
+        fit = shard->frames.erase(fit);
+      } else {
+        ++fit;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status BufferManager::EvictFile(uint32_t file_id) {
+  std::lock_guard<std::mutex> files_lock(files_mu_);
+  if (files_.find(file_id) == files_.end()) {
+    return InvalidArgument(
+        StrFormat("evicting unregistered file id %u", file_id));
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  return DropFilePagesLocked(file_id);
+}
+
+Status BufferManager::UnregisterFile(uint32_t file_id) {
+  std::lock_guard<std::mutex> files_lock(files_mu_);
+  auto fit = files_.find(file_id);
+  if (fit == files_.end()) {
+    return InvalidArgument(
+        StrFormat("unregistering unknown file id %u", file_id));
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  X100IR_RETURN_IF_ERROR(DropFilePagesLocked(file_id));
+  files_.erase(fit);
   return OkStatus();
 }
 
@@ -251,6 +286,18 @@ uint64_t BufferManager::resident_pages() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->frames.size();
+  }
+  return total;
+}
+
+uint64_t BufferManager::ResidentPagesOfFile(uint32_t file_id) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, frame] : shard->frames) {
+      (void)frame;
+      if ((key >> 40) == file_id) ++total;
+    }
   }
   return total;
 }

@@ -174,6 +174,18 @@ class BufferManager {
   // cold run with pins outstanding is a caller bug, not a colder cache.
   Status EvictAll();
 
+  // Drops exactly `file_id`'s resident pages (segment retirement, per-run
+  // cold resets) and leaves every other file's pages hot. Refuses
+  // (FailedPrecondition) while any page of *that file* is pinned; other
+  // files' pins don't block it. InvalidArgument for an unregistered id.
+  // Like EvictAll, the drops are not counted as pressure `evictions`.
+  Status EvictFile(uint32_t file_id);
+
+  // EvictFile plus removal of the id→File binding — the pool holds no
+  // trace of the file afterwards. A retired segment calls this before
+  // closing its files so the pool never dangles on a dead File.
+  Status UnregisterFile(uint32_t file_id);
+
   // Aggregated snapshot (per-shard-consistent). By value: there is no
   // single stats object once the pool is striped.
   BufferStats stats() const;
@@ -199,6 +211,9 @@ class BufferManager {
   uint64_t resident_bytes() const;
   uint64_t resident_pages() const;
   uint64_t pinned_pages() const;
+  // Resident pages belonging to one file — retirement tests pin down that
+  // eviction dropped exactly the dead file's pages. O(resident) scan.
+  uint64_t ResidentPagesOfFile(uint32_t file_id) const;
 
  private:
   struct Frame {
@@ -222,6 +237,10 @@ class BufferManager {
   static uint64_t Key(uint32_t file_id, uint64_t page_no) {
     return (static_cast<uint64_t>(file_id) << 40) | page_no;
   }
+
+  // Drops `file_id`'s frames across all shards, or refuses if any is
+  // pinned. Caller must hold files_mu_ and every shard mutex (ascending).
+  Status DropFilePagesLocked(uint32_t file_id);
 
   Shard& ShardOf(uint64_t key) {
     // SplitMix64 finalizer: adjacent pages of one file spread across

@@ -88,6 +88,10 @@ class ColumnReader {
     return windows_decoded_.load(std::memory_order_relaxed);
   }
 
+  // The pool id this column was opened under — what EvictFile /
+  // UnregisterFile take for per-column cold resets and retirement.
+  uint32_t file_id() const { return file_id_; }
+
  private:
   // Copies file bytes [offset, offset + len) out of pinned pages,
   // retrying transient faults per the pool's RetryPolicy.

@@ -1,0 +1,662 @@
+// Snapshot-semantics battery for the segmented index (DESIGN.md §10):
+// live adds/deletes are bit-identical to a monolithic index rebuilt over
+// the same logical corpus, concurrent searches during a background merge
+// stay bit-identical to their serial oracle (epoch-stable: a merge changes
+// no logical content), replaced segments retire — files deleted, pages
+// dropped from the shared pool — only when the last pinning snapshot
+// releases, a torn MANIFEST falls back to a clean rebuild, a valid one is
+// adopted with its tombstones, and a seeded 1K-op add/delete/search/merge
+// soak holds the oracle invariant throughout. This binary runs in the TSan
+// CI job alongside the server battery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/database.h"
+#include "ir/corpus.h"
+#include "ir/index_builder.h"
+#include "ir/index_meta.h"
+#include "ir/query_gen.h"
+#include "ir/search_engine.h"
+#include "ir/snapshot.h"
+#include "storage/buffer_manager.h"
+
+namespace x100ir::ir {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string tag =
+      info != nullptr
+          ? std::string(info->test_suite_name()) + "_" + info->name()
+          : std::string("global");
+  const std::string dir = std::string(::testing::TempDir()) + "/x100ir_seg_" +
+                          tag + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Small enough that a full oracle rebuild per verification is cheap, big
+// enough that queries have real posting lists to merge across segments.
+CorpusOptions TinyGenerated(uint32_t num_docs = 400) {
+  CorpusOptions opts;
+  opts.num_docs = num_docs;
+  opts.vocab_size = 600;
+  opts.zipf_s = 1.05;
+  opts.doclen_mu = 3.2;
+  opts.doclen_sigma = 0.5;
+  opts.num_topics = 6;
+  opts.terms_per_topic = 5;
+  opts.relevant_docs_per_topic = 20;
+  opts.topic_rank_min = 10;
+  opts.topic_rank_max = 150;
+  opts.seed = 2007;
+  return opts;
+}
+
+std::vector<Query> MakeQueries(const Corpus& corpus, uint32_t n) {
+  QueryGenOptions qopts;
+  qopts.num_efficiency_queries = n;
+  qopts.num_eval_queries = 5;
+  QueryGenerator gen(corpus, qopts);
+  return gen.EfficiencyQueries();
+}
+
+// One synthetic live document: uniform term draws, duplicates fold to tf.
+std::vector<uint32_t> RandomDoc(Rng* rng, uint32_t vocab) {
+  const uint32_t len = 8 + static_cast<uint32_t>(rng->Next() % 40);
+  std::vector<uint32_t> terms(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    terms[i] = static_cast<uint32_t>(rng->Next() % vocab);
+  }
+  return terms;
+}
+
+// ---------------------------------------------------------------------------
+// Reference model + oracle: the logical corpus the database should equal.
+// ---------------------------------------------------------------------------
+
+// Mirrors every mutation the test applies to the database; BuildOracle
+// compacts the live docs (global docid order) into a fresh monolithic
+// in-memory index — exactly what the acceptance criterion compares against.
+struct LiveModel {
+  uint32_t vocab = 0;
+  std::vector<std::vector<DocTerm>> docs;  // by global docid, normalized
+  std::vector<uint8_t> dead;
+
+  void InitFrom(const Corpus& corpus) {
+    vocab = corpus.vocab_size();
+    docs.assign(corpus.num_docs(), {});
+    dead.assign(corpus.num_docs(), 0);
+    for (uint32_t d = 0; d < corpus.num_docs(); ++d) docs[d] = corpus.doc(d);
+  }
+  int32_t Add(const std::vector<uint32_t>& terms) {
+    std::vector<uint32_t> sorted = terms;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<DocTerm> doc;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      doc.push_back({sorted[i], static_cast<int32_t>(j - i)});
+      i = j;
+    }
+    docs.push_back(std::move(doc));
+    dead.push_back(0);
+    return static_cast<int32_t>(docs.size()) - 1;
+  }
+  void Delete(int32_t docid) { dead[static_cast<size_t>(docid)] = 1; }
+  uint32_t live_count() const {
+    uint32_t n = 0;
+    for (uint8_t d : dead) n += d == 0 ? 1 : 0;
+    return n;
+  }
+};
+
+struct Oracle {
+  Corpus corpus;
+  std::unique_ptr<InvertedIndex> index;
+  std::vector<int32_t> globals;  // oracle-local docid -> global docid
+};
+
+void BuildOracle(const LiveModel& m, Oracle* o) {
+  std::vector<std::vector<DocTerm>> live;
+  o->globals.clear();
+  for (size_t d = 0; d < m.docs.size(); ++d) {
+    if (m.dead[d]) continue;
+    live.push_back(m.docs[d]);
+    o->globals.push_back(static_cast<int32_t>(d));
+  }
+  ASSERT_TRUE(Corpus::FromDocTerms(std::move(live), m.vocab, &o->corpus).ok());
+  o->index = std::make_unique<InvertedIndex>();
+  BuildStats stats;
+  ASSERT_TRUE(o->index->BuildFromCorpus(o->corpus, "", &stats).ok());
+}
+
+// Serial oracle run with local docids mapped back to global space.
+Status OracleSearch(const Oracle& o, const Query& q, RunType type,
+                    const SearchOptions& opts, SearchResult* result) {
+  SearchEngine engine(o.index.get());
+  Status s = engine.Search(q, type, opts, result);
+  if (!s.ok()) return s;
+  for (int32_t& d : result->docids) d = o.globals[static_cast<size_t>(d)];
+  return OkStatus();
+}
+
+// Copy of ir_test's rank-agreement check, for execution paths that legally
+// differ in the last ulp (MaxScore vs score-all union, storage runs).
+void ExpectRankingsEquivalent(const std::vector<int32_t>& docids_a,
+                              const std::vector<float>& scores_a,
+                              const std::vector<int32_t>& docids_b,
+                              const std::vector<float>& scores_b, float tol) {
+  ASSERT_EQ(docids_a.size(), docids_b.size());
+  ASSERT_EQ(scores_a.size(), scores_b.size());
+  const size_t n = docids_a.size();
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(scores_a[i], scores_b[i], tol) << "rank " << i;
+    const bool tied_prev =
+        i > 0 && std::abs(scores_a[i] - scores_a[i - 1]) <= tol;
+    const bool tied_next =
+        i + 1 < n && std::abs(scores_a[i] - scores_a[i + 1]) <= tol;
+    if (!tied_prev && !tied_next && i + 1 < n) {
+      EXPECT_EQ(docids_a[i], docids_b[i]) << "rank " << i;
+    }
+  }
+}
+
+// Full bitwise comparison battery: the score-all union path and both
+// boolean plans must match the oracle exactly — same docids, same float
+// bits (same per-document accumulation order by construction, DESIGN.md
+// §10). MaxScore agrees to rank-equivalence.
+void ExpectMatchesOracle(const core::Database& db, const Oracle& o,
+                         const std::vector<Query>& queries) {
+  SearchOptions exact;
+  exact.maxscore_bm25 = false;
+  exact.k = 50;
+  SearchOptions maxscore;
+  maxscore.k = 50;
+  for (const Query& q : queries) {
+    SearchResult got, want;
+    ASSERT_TRUE(db.Search(q, RunType::kBm25, exact, &got).ok());
+    ASSERT_TRUE(OracleSearch(o, q, RunType::kBm25, exact, &want).ok());
+    EXPECT_EQ(got.docids, want.docids);
+    EXPECT_EQ(got.scores, want.scores);
+
+    SearchResult got_ms;
+    ASSERT_TRUE(db.Search(q, RunType::kBm25, maxscore, &got_ms).ok());
+    ExpectRankingsEquivalent(got_ms.docids, got_ms.scores, want.docids,
+                             want.scores, 1e-4f);
+
+    for (RunType type : {RunType::kBoolAnd, RunType::kBoolOr}) {
+      SearchResult bg, bw;
+      ASSERT_TRUE(db.Search(q, type, exact, &bg).ok());
+      ASSERT_TRUE(OracleSearch(o, q, type, exact, &bw).ok());
+      EXPECT_EQ(bg.docids, bw.docids);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: live adds/deletes, bit-identical to the rebuilt monolith.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, AddsAreVisibleAndBitIdenticalToRebuiltOracle) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+  const uint64_t epoch0 = db.epoch();
+
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  Rng rng(41);
+  for (int i = 0; i < 120; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+    int32_t docid = -1;
+    ASSERT_TRUE(db.AddDocument(terms, &docid).ok());
+    EXPECT_EQ(docid, model.Add(terms));  // docids allocated in add order
+  }
+  EXPECT_EQ(db.epoch(), epoch0 + 120);
+
+  // Malformed adds are rejected without burning a docid.
+  int32_t unused = -1;
+  EXPECT_EQ(db.AddDocument({}, &unused).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.AddDocument({model.vocab}, &unused).code(),
+            StatusCode::kInvalidArgument);
+  const uint64_t epoch_after = db.epoch();
+  EXPECT_EQ(epoch_after, epoch0 + 120);
+
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  ExpectMatchesOracle(db, oracle, MakeQueries(db.corpus(), 25));
+
+  // Results are stamped with the snapshot's epoch.
+  SearchResult r;
+  SearchOptions opts;
+  const Query q = MakeQueries(db.corpus(), 1)[0];
+  ASSERT_TRUE(db.Search(q, RunType::kBm25, opts, &r).ok());
+  EXPECT_EQ(r.epoch, epoch_after);
+}
+
+TEST(SegmentTest, DeleteHidesDocsAndClassifiesErrors) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  Rng rng(43);
+  for (int i = 0; i < 60; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+    int32_t docid = -1;
+    ASSERT_TRUE(db.AddDocument(terms, &docid).ok());
+    model.Add(terms);
+  }
+
+  // Deletes span both tiers: base-segment docs and write-buffer docs.
+  const int32_t base_docs = static_cast<int32_t>(db.corpus().num_docs());
+  std::vector<int32_t> victims = {0, 7, base_docs - 1, base_docs + 3,
+                                  base_docs + 59};
+  for (int32_t d : victims) {
+    ASSERT_TRUE(db.DeleteDocument(d).ok()) << d;
+    model.Delete(d);
+  }
+
+  // Error classification: double delete and never-allocated docids.
+  for (int32_t d : victims) {
+    EXPECT_EQ(db.DeleteDocument(d).code(), StatusCode::kNotFound) << d;
+  }
+  EXPECT_EQ(db.DeleteDocument(-1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.DeleteDocument(base_docs + 60).code(), StatusCode::kNotFound);
+
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  const auto queries = MakeQueries(db.corpus(), 25);
+  ExpectMatchesOracle(db, oracle, queries);
+
+  // Belt and braces: no run type ever returns a tombstoned docid.
+  SearchOptions opts;
+  opts.k = 1000;
+  for (const Query& q : queries) {
+    for (RunType type : {RunType::kBm25, RunType::kBoolAnd, RunType::kBoolOr}) {
+      SearchResult r;
+      ASSERT_TRUE(db.Search(q, type, opts, &r).ok());
+      for (int32_t d : r.docids) {
+        EXPECT_EQ(model.dead[static_cast<size_t>(d)], 0) << "docid " << d;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent search during a background merge: bit-identical throughout.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, SearchDuringMergeIsBitIdenticalToOracle) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  dopts.dir = FreshDir("db");
+  dopts.storage.page_bytes = 4096;
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  Rng rng(47);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+    ASSERT_TRUE(db.AddDocument(terms, nullptr).ok());
+    model.Add(terms);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const int32_t d = static_cast<int32_t>(
+        rng.Next() % static_cast<uint64_t>(model.docs.size()));
+    if (model.dead[static_cast<size_t>(d)]) continue;
+    ASSERT_TRUE(db.DeleteDocument(d).ok());
+    model.Delete(d);
+  }
+
+  // The logical corpus is frozen for the whole merge: StartMerge and the
+  // commit bump the epoch but change no content, so ONE oracle covers the
+  // before, during, and after views.
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  const auto queries = MakeQueries(db.corpus(), 8);
+  ExpectMatchesOracle(db, oracle, queries);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reader_queries{0};
+  std::atomic<uint64_t> mismatches{0};
+
+  // Readers hammer the exact-union path and both boolean plans while the
+  // merge runs; EXPECT from a non-main thread is fine, but count too so
+  // the main thread can assert the volume.
+  auto reader = [&](int id) {
+    SearchOptions exact;
+    exact.maxscore_bm25 = false;
+    exact.k = 50;
+    size_t i = static_cast<size_t>(id);
+    while (!done.load(std::memory_order_acquire)) {
+      const Query& q = queries[i++ % queries.size()];
+      SearchResult got, want;
+      if (!db.Search(q, RunType::kBm25, exact, &got).ok() ||
+          !OracleSearch(oracle, q, RunType::kBm25, exact, &want).ok()) {
+        mismatches.fetch_add(1);
+        continue;
+      }
+      if (got.docids != want.docids || got.scores != want.scores) {
+        mismatches.fetch_add(1);
+      }
+      SearchResult bg, bw;
+      if (!db.Search(q, RunType::kBoolOr, exact, &bg).ok() ||
+          !OracleSearch(oracle, q, RunType::kBoolOr, exact, &bw).ok() ||
+          bg.docids != bw.docids) {
+        mismatches.fetch_add(1);
+      }
+      reader_queries.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) readers.emplace_back(reader, t);
+
+  ASSERT_TRUE(db.StartMerge().ok());
+  EXPECT_EQ(db.StartMerge().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db.WaitMerge().ok());
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(reader_queries.load(), 0u);
+
+  // Post-merge: same oracle still holds, including the storage runs the
+  // merged segment's materialized columns now serve (two-pass execution
+  // differs in summation order: rank-equivalence, not bitwise).
+  ExpectMatchesOracle(db, oracle, queries);
+  SearchOptions opts;
+  opts.k = 30;
+  for (const Query& q : queries) {
+    SearchResult got, want;
+    ASSERT_TRUE(db.Search(q, RunType::kBm25TC, opts, &got).ok());
+    ASSERT_TRUE(OracleSearch(oracle, q, RunType::kBm25, opts, &want).ok());
+    ExpectRankingsEquivalent(got.docids, got.scores, want.docids, want.scores,
+                             1e-3f);
+  }
+}
+
+TEST(SegmentTest, DeletesDuringMergeLandOnTheMergedSegment) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  Rng rng(53);
+  for (int i = 0; i < 150; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+    ASSERT_TRUE(db.AddDocument(terms, nullptr).ok());
+    model.Add(terms);
+  }
+
+  // Delete below the merge cutoff while the merge runs: the journal must
+  // re-apply these as tombstones on the merged segment at commit. Whether
+  // a given delete lands before or after the commit race-wise, the final
+  // logical state is the same — which is exactly what the oracle checks.
+  ASSERT_TRUE(db.StartMerge().ok());
+  for (int32_t d = 3; d < 120; d += 17) {
+    ASSERT_TRUE(db.DeleteDocument(d).ok()) << d;
+    model.Delete(d);
+  }
+  ASSERT_TRUE(db.WaitMerge().ok());
+
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  ExpectMatchesOracle(db, oracle, MakeQueries(db.corpus(), 15));
+
+  // And they really are deletes, not ghosts: a re-delete is NotFound.
+  EXPECT_EQ(db.DeleteDocument(3).code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Retirement: files + pages live exactly as long as the last snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, ReplacedSegmentRetiresOnLastSnapshotRelease) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  dopts.dir = FreshDir("db");
+  dopts.storage.page_bytes = 4096;
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+  ASSERT_TRUE(db.has_storage());
+
+  // Warm the base segment's compressed docid column so it owns pool pages.
+  const auto queries = MakeQueries(db.corpus(), 4);
+  SearchOptions opts;
+  SearchResult r;
+  ASSERT_TRUE(db.Search(queries[0], RunType::kBm25TC, opts, &r).ok());
+
+  std::shared_ptr<const Snapshot> pin = db.Acquire();
+  ASSERT_EQ(pin->segments.size(), 1u);
+  const uint32_t base_file =
+      db.index()->storage()->docid_compressed.file_id();
+  storage::BufferManager* pool = db.index()->buffer_manager();
+  EXPECT_GT(pool->ResidentPagesOfFile(base_file), 0u);
+  const std::string base_meta = dopts.dir + "/" + kIndexMetaFile;
+  ASSERT_TRUE(std::filesystem::exists(base_meta));
+
+  Rng rng(59);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        db.AddDocument(RandomDoc(&rng, db.corpus().vocab_size()), nullptr)
+            .ok());
+  }
+  ASSERT_TRUE(db.Merge().ok());
+
+  // The commit replaced the base segment, but `pin` still holds it: its
+  // files and pool pages must survive — a pinned reader may touch them.
+  EXPECT_TRUE(std::filesystem::exists(base_meta));
+  EXPECT_GT(pool->ResidentPagesOfFile(base_file), 0u);
+  ASSERT_TRUE(
+      SearchSnapshot(*pin, queries[0], RunType::kBm25TC, opts, &r).ok());
+
+  // Last pin out: the base segment's root-layout files are deleted and
+  // exactly its pages drop from the shared pool; the merged segment (and
+  // the manifest) are untouched.
+  pin.reset();
+  EXPECT_FALSE(std::filesystem::exists(base_meta));
+  EXPECT_EQ(pool->ResidentPagesOfFile(base_file), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dopts.dir + "/" + kManifestFile));
+  EXPECT_TRUE(std::filesystem::exists(dopts.dir + "/seg_1/" +
+                                      std::string(kIndexMetaFile)));
+
+  // The post-merge database still serves storage runs from seg_1.
+  ASSERT_TRUE(db.Search(queries[0], RunType::kBm25TCMQ8, opts, &r).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Durability: manifest adoption and torn-manifest fallback.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, ManifestReopenAdoptsMergedStateAndDeletes) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  dopts.dir = FreshDir("db");
+  dopts.storage.page_bytes = 4096;
+
+  LiveModel model;
+  std::vector<Query> queries;
+  {
+    core::Database db;
+    ASSERT_TRUE(db.Open(dopts).ok());
+    model.InitFrom(db.corpus());
+    queries = MakeQueries(db.corpus(), 15);
+    Rng rng(61);
+    for (int i = 0; i < 80; ++i) {
+      const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+      ASSERT_TRUE(db.AddDocument(terms, nullptr).ok());
+      model.Add(terms);
+    }
+    for (int32_t d : {2, 50, 401, 430}) {
+      ASSERT_TRUE(db.DeleteDocument(d).ok());
+      model.Delete(d);
+    }
+    ASSERT_TRUE(db.Merge().ok());
+    // A post-merge delete on a persisted segment doc must rewrite the
+    // manifest — it has to survive the reopen below.
+    ASSERT_TRUE(db.DeleteDocument(77).ok());
+    model.Delete(77);
+  }  // close: joins the merge pool, releases every snapshot
+
+  core::Database db2;
+  ASSERT_TRUE(db2.Open(dopts).ok());
+  EXPECT_TRUE(db2.build_stats().reused_files);
+
+  // Merged docs (including the formerly-volatile delta docs) survived;
+  // every delete — including the post-merge one — stuck.
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  ExpectMatchesOracle(db2, oracle, queries);
+  EXPECT_EQ(db2.DeleteDocument(77).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db2.DeleteDocument(2).code(), StatusCode::kNotFound);
+
+  // Docid allocation resumes after the persisted high-water mark.
+  int32_t docid = -1;
+  ASSERT_TRUE(db2.AddDocument({1, 2, 3}, &docid).ok());
+  EXPECT_EQ(docid, static_cast<int32_t>(model.docs.size()));
+}
+
+TEST(SegmentTest, TornManifestFallsBackToCleanRebuild) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  dopts.dir = FreshDir("db");
+  dopts.storage.page_bytes = 4096;
+  {
+    core::Database db;
+    ASSERT_TRUE(db.Open(dopts).ok());
+    Rng rng(67);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          db.AddDocument(RandomDoc(&rng, db.corpus().vocab_size()), nullptr)
+              .ok());
+    }
+    ASSERT_TRUE(db.DeleteDocument(5).ok());
+    ASSERT_TRUE(db.Merge().ok());
+  }
+  const std::string manifest = dopts.dir + "/" + kManifestFile;
+  ASSERT_TRUE(std::filesystem::exists(manifest));
+  ASSERT_TRUE(std::filesystem::exists(dopts.dir + "/seg_1"));
+
+  // Tear the manifest mid-header.
+  std::filesystem::resize_file(manifest, 9);
+
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  // Clean rebuild: back to the corpus-only world — the merged segment and
+  // its deletes are gone (delta docs were volatile, segment state was
+  // unreadable), the stale segment directory is swept, and epoch restarts.
+  EXPECT_EQ(db.epoch(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(dopts.dir + "/seg_1"));
+  auto snap = db.Acquire();
+  EXPECT_TRUE(snap->plain);
+  EXPECT_EQ(snap->stats->num_docs, db.corpus().num_docs());
+  int32_t docid = -1;
+  ASSERT_TRUE(db.AddDocument({1, 2, 3}, &docid).ok());
+  EXPECT_EQ(docid, static_cast<int32_t>(db.corpus().num_docs()));
+
+  // And it queries like the monolith it is.
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  model.Add({1, 2, 3});
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  ExpectMatchesOracle(db, oracle, MakeQueries(db.corpus(), 10));
+}
+
+// ---------------------------------------------------------------------------
+// Soak: 1K seeded mixed ops, oracle-checked throughout, zero crashes.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, SoakMixedOpsHoldOracleInvariant) {
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated(/*num_docs=*/200);
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  LiveModel model;
+  model.InitFrom(db.corpus());
+  const auto queries = MakeQueries(db.corpus(), 10);
+
+  Rng rng(2007);
+  uint32_t merges_started = 0, verifies = 0;
+  for (int op = 0; op < 1000; ++op) {
+    const uint64_t roll = rng.Next() % 100;
+    if (roll < 55) {
+      const std::vector<uint32_t> terms = RandomDoc(&rng, model.vocab);
+      int32_t docid = -1;
+      ASSERT_TRUE(db.AddDocument(terms, &docid).ok());
+      ASSERT_EQ(docid, model.Add(terms));
+    } else if (roll < 80) {
+      const int32_t d = static_cast<int32_t>(
+          rng.Next() % static_cast<uint64_t>(model.docs.size()));
+      const Status s = db.DeleteDocument(d);
+      if (model.dead[static_cast<size_t>(d)]) {
+        EXPECT_EQ(s.code(), StatusCode::kNotFound) << d;
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.Delete(d);
+      }
+    } else if (roll < 92) {
+      // Point-in-time verify: the test thread is the only mutator, so the
+      // current snapshot equals the model even while a merge runs.
+      const Query& q = queries[static_cast<size_t>(op) % queries.size()];
+      Oracle oracle;
+      BuildOracle(model, &oracle);
+      SearchOptions exact;
+      exact.maxscore_bm25 = false;
+      exact.k = 40;
+      SearchResult got, want;
+      ASSERT_TRUE(db.Search(q, RunType::kBm25, exact, &got).ok());
+      ASSERT_TRUE(OracleSearch(oracle, q, RunType::kBm25, exact, &want).ok());
+      ASSERT_EQ(got.docids, want.docids) << "op " << op;
+      ASSERT_EQ(got.scores, want.scores) << "op " << op;
+      ++verifies;
+    } else {
+      const Status s = db.StartMerge();
+      if (s.ok()) {
+        ++merges_started;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      }
+    }
+    if (op % 250 == 249) {
+      ASSERT_TRUE(db.WaitMerge().ok());
+      Oracle oracle;
+      BuildOracle(model, &oracle);
+      ExpectMatchesOracle(db, oracle, {queries[0], queries[5]});
+    }
+  }
+  ASSERT_TRUE(db.WaitMerge().ok());
+  EXPECT_GT(merges_started, 0u);
+  EXPECT_GT(verifies, 0u);
+  EXPECT_EQ(db.Acquire()->stats->num_docs, model.live_count());
+
+  Oracle oracle;
+  BuildOracle(model, &oracle);
+  ExpectMatchesOracle(db, oracle, queries);
+}
+
+}  // namespace
+}  // namespace x100ir::ir

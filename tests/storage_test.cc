@@ -288,6 +288,79 @@ TEST_F(BufferManagerTest, ShortLastPageAndBounds) {
   EXPECT_FALSE(bm_->Pin(99, 0, &data, &len).ok());  // unregistered
 }
 
+TEST_F(BufferManagerTest, EvictFileDropsExactlyThatFilesPages) {
+  Open(/*pool_pages=*/8);
+  // A second 4-page file sharing the pool: segment retirement must be able
+  // to chill one file's pages without touching its neighbors'.
+  const auto other = PatternBytes(4 * page_bytes_);
+  const std::string path = WriteFile("bm_other", other);
+  File f;
+  ASSERT_TRUE(File::OpenReadOnly(path, &f).ok());
+  ASSERT_TRUE(bm_->RegisterFile(8, &f).ok());
+
+  const uint8_t* data = nullptr;
+  uint32_t len = 0;
+  for (uint64_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(bm_->Pin(7, p, &data, &len).ok());
+    bm_->Unpin(7, p);
+  }
+  for (uint64_t p = 0; p < 2; ++p) {
+    ASSERT_TRUE(bm_->Pin(8, p, &data, &len).ok());
+    bm_->Unpin(8, p);
+  }
+  EXPECT_EQ(bm_->ResidentPagesOfFile(7), 3u);
+  EXPECT_EQ(bm_->ResidentPagesOfFile(8), 2u);
+  EXPECT_EQ(bm_->stats().misses, 5u);
+
+  ASSERT_TRUE(bm_->EvictFile(7).ok());
+  EXPECT_EQ(bm_->ResidentPagesOfFile(7), 0u);
+  EXPECT_EQ(bm_->ResidentPagesOfFile(8), 2u);
+  EXPECT_EQ(bm_->resident_pages(), 2u);
+  // Targeted drops are not pressure evictions: the counter is untouched.
+  EXPECT_EQ(bm_->stats().evictions, 0u);
+
+  // File 7 re-pins miss (its pages are gone); file 8 stayed hot.
+  ASSERT_TRUE(bm_->Pin(7, 0, &data, &len).ok());
+  bm_->Unpin(7, 0);
+  EXPECT_EQ(bm_->stats().misses, 6u);
+  ASSERT_TRUE(bm_->Pin(8, 0, &data, &len).ok());
+  bm_->Unpin(8, 0);
+  EXPECT_EQ(bm_->stats().hits, 1u);
+}
+
+TEST_F(BufferManagerTest, EvictFileRefusesPinsAndRejectsUnknownIds) {
+  Open(/*pool_pages=*/8);
+  const auto other = PatternBytes(4 * page_bytes_);
+  const std::string path = WriteFile("bm_other2", other);
+  File f;
+  ASSERT_TRUE(File::OpenReadOnly(path, &f).ok());
+  ASSERT_TRUE(bm_->RegisterFile(8, &f).ok());
+
+  const uint8_t* data = nullptr;
+  uint32_t len = 0;
+  ASSERT_TRUE(bm_->Pin(7, 1, &data, &len).ok());
+  // A pinned page in THIS file blocks its eviction...
+  EXPECT_EQ(bm_->EvictFile(7).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(bm_->ResidentPagesOfFile(7), 1u);
+  // ...but not another file's (per-file granularity is the whole point:
+  // retiring a dead segment must not wait for unrelated readers).
+  ASSERT_TRUE(bm_->Pin(8, 0, &data, &len).ok());
+  bm_->Unpin(8, 0);
+  EXPECT_TRUE(bm_->EvictFile(8).ok());
+  EXPECT_EQ(bm_->ResidentPagesOfFile(8), 0u);
+
+  bm_->Unpin(7, 1);
+  EXPECT_TRUE(bm_->EvictFile(7).ok());
+  EXPECT_EQ(bm_->EvictFile(99).code(), StatusCode::kInvalidArgument);
+
+  // UnregisterFile = EvictFile + drop the binding: later pins must fail
+  // rather than resurrect the file.
+  ASSERT_TRUE(bm_->UnregisterFile(8).ok());
+  EXPECT_EQ(bm_->ResidentPagesOfFile(8), 0u);
+  EXPECT_FALSE(bm_->Pin(8, 0, &data, &len).ok());
+  EXPECT_EQ(bm_->EvictFile(8).code(), StatusCode::kInvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // ColumnReader
 // ---------------------------------------------------------------------------
