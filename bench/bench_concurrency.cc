@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +121,9 @@ struct SoakResult {
   uint64_t faults_injected = 0;
   uint64_t service_retries = 0;
   double wall_seconds = 0.0;
+  // Execution counters summed (ExecStats::operator+=) over every OK
+  // response — the soak's aggregate work profile, fault retries included.
+  vec::ExecStats exec;
 };
 
 SoakResult RunFaultSoak(const core::Database& db,
@@ -154,6 +158,7 @@ SoakResult RunFaultSoak(const core::Database& db,
   r.total = num_queries;
   std::atomic<uint64_t> ok{0}, deadline{0}, unavailable{0}, bad{0},
       mismatches{0};
+  std::mutex exec_mu;  // ExecStats has no atomic fields; callbacks race
   const Clock::time_point t0 = Clock::now();
   for (uint32_t i = 0; i < num_queries; ++i) {
     const size_t qi = i % queries.size();
@@ -172,6 +177,10 @@ SoakResult RunFaultSoak(const core::Database& db,
                 if (resp.result.docids != oracle[qi].docids ||
                     resp.result.scores != oracle[qi].scores) {
                   mismatches.fetch_add(1);
+                }
+                {
+                  std::lock_guard<std::mutex> lock(exec_mu);
+                  r.exec += resp.result.stats;
                 }
                 break;
               case StatusCode::kDeadlineExceeded:
@@ -341,10 +350,20 @@ int Run() {
   soak_table.Print();
   std::printf(
       "faults injected: %llu, service-level retries: %llu, soak QPS: "
-      "%.0f\n\n",
+      "%.0f\n",
       static_cast<unsigned long long>(soak.faults_injected),
       static_cast<unsigned long long>(soak.service_retries),
       static_cast<double>(soak.total) / soak.wall_seconds);
+  std::printf(
+      "aggregate work over OK responses (ExecStats): %llu windows decoded, "
+      "%llu skipped, %llu tf windows, %llu primitive calls, %llu vectors "
+      "pruned, %llu docs probed\n\n",
+      static_cast<unsigned long long>(soak.exec.windows_decoded),
+      static_cast<unsigned long long>(soak.exec.windows_skipped),
+      static_cast<unsigned long long>(soak.exec.tf_windows_decoded),
+      static_cast<unsigned long long>(soak.exec.primitive_calls),
+      static_cast<unsigned long long>(soak.exec.vectors_pruned),
+      static_cast<unsigned long long>(soak.exec.docs_probed));
 
   // -- Gates --------------------------------------------------------------
   // scale_gated flags whether the 3x acceptance gate applies on this host
@@ -408,7 +427,11 @@ int Run() {
         "\"deadline_exceeded\": %llu, \"unavailable\": %llu, "
         "\"shed_attempts\": %llu, \"unclassified\": %llu, "
         "\"ok_vs_oracle_mismatches\": %llu, \"faults_injected\": %llu, "
-        "\"service_retries\": %llu, \"wall_seconds\": %.2f}\n"
+        "\"service_retries\": %llu, \"wall_seconds\": %.2f,\n"
+        "    \"exec_ok_responses\": {\"windows_decoded\": %llu, "
+        "\"windows_skipped\": %llu, \"tf_windows_decoded\": %llu, "
+        "\"primitive_calls\": %llu, \"vectors_pruned\": %llu, "
+        "\"docs_probed\": %llu}}\n"
         "}\n",
         static_cast<unsigned long long>(soak.total),
         static_cast<unsigned long long>(soak.ok),
@@ -419,7 +442,13 @@ int Run() {
         static_cast<unsigned long long>(soak.mismatches),
         static_cast<unsigned long long>(soak.faults_injected),
         static_cast<unsigned long long>(soak.service_retries),
-        soak.wall_seconds);
+        soak.wall_seconds,
+        static_cast<unsigned long long>(soak.exec.windows_decoded),
+        static_cast<unsigned long long>(soak.exec.windows_skipped),
+        static_cast<unsigned long long>(soak.exec.tf_windows_decoded),
+        static_cast<unsigned long long>(soak.exec.primitive_calls),
+        static_cast<unsigned long long>(soak.exec.vectors_pruned),
+        static_cast<unsigned long long>(soak.exec.docs_probed));
     std::fclose(f);
     std::fprintf(stderr, "[bench] wrote %s\n", json_path);
   }

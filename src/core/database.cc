@@ -11,9 +11,23 @@ Status Database::Open(const DatabaseOptions& options) {
   manager_.reset();
   build_stats_ = ir::BuildStats();
   X100IR_RETURN_IF_ERROR(ir::Corpus::Generate(options.corpus, &corpus_));
+  return OpenPrepared(options.dir, options.storage);
+}
+
+Status Database::OpenWithCorpus(ir::Corpus corpus, const std::string& dir,
+                                const storage::StorageOptions& storage) {
+  open_ = false;
+  manager_.reset();  // same teardown-before-corpus-swap order as Open
+  build_stats_ = ir::BuildStats();
+  corpus_ = std::move(corpus);
+  return OpenPrepared(dir, storage);
+}
+
+Status Database::OpenPrepared(const std::string& dir,
+                              const storage::StorageOptions& storage) {
   manager_ = std::make_unique<ir::SnapshotManager>();
   X100IR_RETURN_IF_ERROR(
-      manager_->Open(&corpus_, options.dir, options.storage, &build_stats_));
+      manager_->Open(&corpus_, dir, storage, &build_stats_));
   open_ = true;
   return OkStatus();
 }

@@ -50,6 +50,16 @@ class Database {
   // segment). Safe to call again (rebuilds against the new options).
   Status Open(const DatabaseOptions& options);
 
+  // Opens over a caller-built corpus instead of generating one — the
+  // dist/ path: a cluster node adopts its doc-partition slice
+  // (Corpus::FromDocTerms over a contiguous global-docid range) and gets
+  // the same build-or-reuse, segmented-index, private-buffer-pool stack a
+  // generated database gets. The corpus is moved in; the on-disk reuse
+  // check keys on its content fingerprint, so a reopened node only
+  // rebuilds when its slice actually changed.
+  Status OpenWithCorpus(ir::Corpus corpus, const std::string& dir,
+                        const storage::StorageOptions& storage);
+
   // Runs one query against the current snapshot; fails before Open. Const
   // and thread-safe after Open (DESIGN.md §9.1/§10): the query pins the
   // snapshot's segments for its whole duration, so concurrent adds,
@@ -93,6 +103,11 @@ class Database {
   }
 
  private:
+  // Stands up the SnapshotManager over the already-populated corpus_ —
+  // the shared tail of Open and OpenWithCorpus.
+  Status OpenPrepared(const std::string& dir,
+                      const storage::StorageOptions& storage);
+
   bool open_ = false;
   ir::Corpus corpus_;
   // Owns segments, write buffer, snapshots, and the shared buffer pool.

@@ -389,6 +389,20 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
   uint64_t candidates = 0;
   size_t ness = 0;  // order[0..ness) are demoted
 
+  // Distributed θ floor (DESIGN.md §11.3): the local heap's threshold,
+  // raised to the cluster-wide k-th-best lower bound when a shared
+  // channel is plumbed in. Every pruning decision below (term demotion,
+  // the candidate select, probe-completion viability) goes through this,
+  // so a shard seeded by a faster peer starts pruning where that peer
+  // left off. Scores exactly at the bound always survive the >= / strict-<
+  // pruning tests, so the (score desc, docid asc) tiebreak at the global
+  // boundary is never cut off.
+  SharedTheta* shared = opts.shared_theta;
+  const auto live_theta = [&]() -> float {
+    const float local = topk.threshold();
+    return shared != nullptr ? std::max(local, shared->Load()) : local;
+  };
+
   // Folds the per-term cursor stats into ctx.stats — shared by the normal
   // exit and the deadline bail-out, so a DeadlineExceeded result still
   // reports everything the query actually did.
@@ -411,7 +425,7 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
         return live;
       }
     }
-    const float theta = topk.threshold();
+    const float theta = live_theta();
     // Re-partition between vectors: θ only grows, so demotion is one-way.
     while (ness < m && prefix[ness] < theta) {
       MsTerm& ts = states[order[ness]];
@@ -476,7 +490,7 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
       float remaining = ness_bound;
       bool viable = true;
       for (size_t p = ness; p-- > 0;) {
-        const float live = topk.threshold();
+        const float live = live_theta();
         if (s + remaining < live) {
           viable = false;
           break;
@@ -493,8 +507,13 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
       }
       if (viable) topk.Push(d, s);
     }
+    // Publish once per candidate vector, not per push: the channel is a
+    // bound, not a log, and the heap's threshold after the batch is the
+    // tightest value this shard can prove.
+    if (shared != nullptr) shared->RaiseTo(topk.threshold());
   }
 
+  if (shared != nullptr) shared->RaiseTo(topk.threshold());
   topk.FinishSorted(&result->docids, &result->scores);
   fold_stats();
   return OkStatus();

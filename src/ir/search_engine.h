@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/shared_theta.h"
 #include "common/status.h"
 #include "ir/bm25.h"
 #include "ir/collection_stats.h"
@@ -130,6 +131,20 @@ struct SearchOptions {
   // excluded from results and from num_matches. (TombstoneTest lives in
   // collection_stats.h.)
   const uint64_t* tombstones = nullptr;
+
+  // Distributed shared-θ channel (DESIGN.md §11.3), set by the dist/
+  // coordinator for doc-partitioned scatter-gather queries; null for every
+  // single-engine call. When present, SearchBm25MaxScore floors its
+  // pruning threshold with the channel's global k-th-best lower bound at
+  // every vector-batch boundary (pruning candidates, demoting terms, and
+  // bailing out of probe completion that a shard-local threshold could
+  // not) and publishes its own k-th-best back. Results whose score is
+  // provably below the global bound may then be *omitted* from this
+  // engine's top-k — sound for the coordinator (they cannot enter the
+  // merged top-k; exact ties at the bound are always kept so the docid
+  // tiebreak stays intact), but it means a seeded engine's result is a
+  // top-k of the cluster, not of this shard alone.
+  SharedTheta* shared_theta = nullptr;
 };
 
 // Effective scoring statistics: the snapshot's live collection stats when
@@ -184,6 +199,19 @@ struct SearchResult {
 
   // What Table 2 reports: real work plus simulated disk time.
   double TotalSeconds() const { return seconds + io_seconds; }
+
+  // Folds another structure's execution accounting into this result — the
+  // one-call aggregation every multi-structure read uses (per-segment
+  // results in SearchSnapshot, per-shard results in the dist/
+  // coordinator). Docids/scores/epoch are NOT touched: result merging is
+  // rank- and structure-specific, accounting aggregation is not. Matches
+  // are additive because the merged structures partition the docid space.
+  void MergeAccounting(const SearchResult& o) {
+    num_matches += o.num_matches;
+    used_second_pass = used_second_pass || o.used_second_pass;
+    io_seconds += o.io_seconds;
+    stats += o.stats;
+  }
 };
 
 class SearchEngine {

@@ -149,7 +149,6 @@ Status SearchSnapshot(const Snapshot& snap, const Query& query, RunType type,
 
   std::vector<RankedCandidate> ranked;
   std::vector<int32_t> bool_matches;  // global docid order by construction
-  uint64_t num_matches = 0;
 
   for (const Snapshot::SegmentRead& sr : snap.segments) {
     SearchOptions seg_opts = user_opts;
@@ -159,11 +158,7 @@ Status SearchSnapshot(const Snapshot& snap, const Query& query, RunType type,
     SearchEngine engine(&sr.seg->index());
     SearchResult seg_result;
     X100IR_RETURN_IF_ERROR(engine.Search(sub, type, seg_opts, &seg_result));
-    num_matches += seg_result.num_matches;
-    result->stats.Add(seg_result.stats);
-    result->io_seconds += seg_result.io_seconds;
-    result->used_second_pass =
-        result->used_second_pass || seg_result.used_second_pass;
+    result->MergeAccounting(seg_result);
     const bool identity = sr.seg->identity_map();
     if (ranked_run) {
       for (size_t i = 0; i < seg_result.docids.size(); ++i) {
@@ -182,11 +177,10 @@ Status SearchSnapshot(const Snapshot& snap, const Query& query, RunType type,
     if (user_opts.deadline != nullptr) {
       X100IR_RETURN_IF_ERROR(user_opts.deadline->Check());
     }
-    EvalDelta(dr, terms, type, user_opts, *snap.stats, &ranked, &num_matches,
-              &bool_matches);
+    EvalDelta(dr, terms, type, user_opts, *snap.stats, &ranked,
+              &result->num_matches, &bool_matches);
   }
 
-  result->num_matches = num_matches;
   if (ranked_run) {
     const size_t k = std::min<size_t>(user_opts.k, ranked.size());
     std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),

@@ -38,14 +38,16 @@ struct ExecStats {
   // Individual non-essential-list lookups during MaxScore completion.
   uint64_t docs_probed = 0;
 
-  void Add(const ExecStats& o) {
+  ExecStats& operator+=(const ExecStats& o) {
     windows_decoded += o.windows_decoded;
     windows_skipped += o.windows_skipped;
     tf_windows_decoded += o.tf_windows_decoded;
     primitive_calls += o.primitive_calls;
     vectors_pruned += o.vectors_pruned;
     docs_probed += o.docs_probed;
+    return *this;
   }
+  void Add(const ExecStats& o) { *this += o; }
 };
 
 // Per-query execution knobs, shared by every operator in a plan.
