@@ -12,12 +12,18 @@
 // via the "GATE <name> <value>" lines:
 //
 //   1. ranked bake-off — custom DAAT/TAAT/MaxScore vs the DBMS BM25 runs
-//      (PR 3 score-all union vs the streaming MaxScore path), p@20 +
-//      hot avg ms/query over the efficiency batch;
+//      (PR 3 score-all union vs the streaming Block-Max MaxScore path),
+//      p@20 + hot avg ms/query over the efficiency batch. The DBMS row
+//      reports the ExecStats counters `windows_blockmax_skipped` (128-tf
+//      windows whose persisted (max_tf, min_doclen) bound could not beat
+//      the live threshold — never decoded) and `fused_windows` (windows
+//      scored by the fused decode→score kernel, DESIGN.md §12.3), proving
+//      the Block-Max + fused hot path is actually exercised;
 //   2. conjunctive queries — PR 3 materialize-then-intersect vs the
 //      streaming skip join, with the ExecStats window counters proving the
 //      skipping is real, not just faster wall-clock;
-//   3. SIMD unpack — shuffle-table LOOP1 vs scalar for b in {4, 8, 16}.
+//   3. SIMD unpack — shuffle-table LOOP1 vs scalar, sampling bit widths
+//      across the full supported 1..30 range.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -59,8 +65,12 @@ struct JsonWriter {
         f,
         "{\n  \"comment\": \"Table 1 bake-off: custom IR engines vs the "
         "vectorized DBMS, conjunctive streaming-vs-materialized, and "
-        "SIMD-vs-scalar LOOP1 unpack. ms are hot avg per query; recorded "
-        "as the perf-trajectory baseline for the streaming hot path.\",\n"
+        "SIMD-vs-scalar LOOP1 unpack. ms are hot avg per query. The "
+        "dbms_bm25_maxscore row is the Block-Max MaxScore hot path: "
+        "windows_blockmax_skipped counts 128-tf windows pruned by their "
+        "persisted (max_tf, min_doclen) bound without decoding, "
+        "fused_windows counts windows scored by the fused decode-to-score "
+        "kernel (DESIGN.md 12).\",\n"
         "  \"command\": \"X100IR_BENCH_JSON=BENCH_table1.json "
         "./build/bench_table1_systems\",\n  \"results\": [\n%s\n  ]\n}\n",
         body.c_str());
@@ -95,7 +105,10 @@ void RunSimdUnpackExperiment(TablePrinter* table, JsonWriter* json,
   constexpr uint32_t kN = 1u << 20;
   std::vector<int32_t> values(kN), out(kN);
   *simd_beats_scalar = true;
-  for (int b : {4, 8, 16}) {
+  // Samples across the full supported 1..30 range (the AVX2 path covers
+  // every width since PR 9, not just the byte-aligned ones). CI's gate
+  // names stay stable: b4/b8/b16 predate the sweep extension.
+  for (int b : {1, 4, 5, 8, 11, 16, 20, 30}) {
     Rng rng(0xb17 + b);
     for (uint32_t i = 0; i < kN; ++i) {
       values[i] = static_cast<int32_t>(rng.Next() & ((1ull << b) - 1));
@@ -159,8 +172,12 @@ RunMeasurement MeasureRun(const std::vector<ir::Query>& eval_queries,
     }
     m.p20 = ir::Mean(p20s);
   }
-  // Warm pass, then the timed pass (everything is memory-resident, so one
-  // warm pass settles caches and the index's lazily-touched pages).
+  // Warm pass (everything is memory-resident, so one pass settles caches
+  // and the index's lazily-touched pages), then three timed passes keeping
+  // the fastest: min-of-N filters scheduler and frequency noise on a
+  // shared host, and every system row gets the same treatment. Stats and
+  // match counts are deterministic across passes, so they are folded from
+  // the first timed pass only.
   std::vector<int32_t> docids;
   for (const auto& q : timed_queries) {
     double secs = 0.0;
@@ -168,18 +185,82 @@ RunMeasurement MeasureRun(const std::vector<ir::Query>& eval_queries,
     uint64_t matches = 0;
     run(q, &docids, &secs, &stats, &matches);
   }
-  double total = 0.0;
-  for (const auto& q : timed_queries) {
-    double secs = 0.0;
-    vec::ExecStats stats;
-    uint64_t matches = 0;
-    run(q, &docids, &secs, &stats, &matches);
-    total += secs;
-    m.stats.Add(stats);
-    m.matches += matches;
+  double best = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    double total = 0.0;
+    for (const auto& q : timed_queries) {
+      double secs = 0.0;
+      vec::ExecStats stats;
+      uint64_t matches = 0;
+      run(q, &docids, &secs, &stats, &matches);
+      total += secs;
+      if (pass == 0) {
+        m.stats.Add(stats);
+        m.matches += matches;
+      }
+    }
+    if (pass == 0 || total < best) best = total;
   }
-  m.avg_ms = total * 1e3 / static_cast<double>(timed_queries.size());
+  m.avg_ms = best * 1e3 / static_cast<double>(timed_queries.size());
   return m;
+}
+
+// Head-to-head variant for the gate comparison: the two contenders run
+// interleaved, query by query, over three timed passes (fastest pass per
+// contender wins). Rows measured minutes apart are hostage to frequency
+// and scheduler drift on a busy host; pairing the runs makes the reported
+// ratio reflect the engines, not the weather.
+template <typename FnA, typename FnB>
+void MeasureRunPaired(const std::vector<ir::Query>& eval_queries,
+                      const std::vector<ir::Query>& timed_queries,
+                      const ir::Qrels& qrels, FnA&& run_a, FnB&& run_b,
+                      RunMeasurement* out_a, RunMeasurement* out_b) {
+  const auto eval_pass = [&](auto&& run) {
+    std::vector<double> p20s;
+    for (const auto& q : eval_queries) {
+      std::vector<int32_t> docids;
+      double secs = 0.0;
+      vec::ExecStats stats;
+      uint64_t matches = 0;
+      run(q, &docids, &secs, &stats, &matches);
+      p20s.push_back(ir::PrecisionAtK(docids, 20, qrels, q.topic));
+    }
+    return ir::Mean(p20s);
+  };
+  out_a->p20 = eval_pass(run_a);
+  out_b->p20 = eval_pass(run_b);
+  std::vector<int32_t> docids;
+  double best_a = 0.0;
+  double best_b = 0.0;
+  for (int pass = -1; pass < 3; ++pass) {  // pass -1 warms both
+    double ta = 0.0;
+    double tb = 0.0;
+    for (const auto& q : timed_queries) {
+      double secs = 0.0;
+      vec::ExecStats stats;
+      uint64_t matches = 0;
+      run_a(q, &docids, &secs, &stats, &matches);
+      ta += secs;
+      if (pass == 0) {
+        out_a->stats.Add(stats);
+        out_a->matches += matches;
+      }
+      secs = 0.0;
+      stats = vec::ExecStats();
+      matches = 0;
+      run_b(q, &docids, &secs, &stats, &matches);
+      tb += secs;
+      if (pass == 0) {
+        out_b->stats.Add(stats);
+        out_b->matches += matches;
+      }
+    }
+    if (pass < 0) continue;
+    if (pass == 0 || ta < best_a) best_a = ta;
+    if (pass == 0 || tb < best_b) best_b = tb;
+  }
+  out_a->avg_ms = best_a * 1e3 / static_cast<double>(timed_queries.size());
+  out_b->avg_ms = best_b * 1e3 / static_cast<double>(timed_queries.size());
 }
 
 int Run() {
@@ -236,10 +317,6 @@ int Run() {
                  "hand-rolled, raw in-RAM postings");
   add_custom("Custom IR engine (TAAT)", "custom_taat",
              &ir::CustomIrEngine::SearchTaat, "accumulator array per query");
-  add_custom("Custom IR engine (MaxScore)", "custom_maxscore",
-             &ir::CustomIrEngine::SearchMaxScore,
-             "DAAT + exact top-k pruning");
-
   auto run_dbms = [&](ir::RunType type, const ir::SearchOptions& opts) {
     return [&, type, opts](const ir::Query& q, std::vector<int32_t>* docids,
                            double* secs, vec::ExecStats* stats,
@@ -258,6 +335,35 @@ int Run() {
   pr3_opts.maxscore_bm25 = false;
   ir::SearchOptions stream_opts;  // defaults: streaming + MaxScore
 
+  // The gate pair — the hand-rolled MaxScore baseline and the DBMS
+  // Block-Max MaxScore formulation — is measured head-to-head so the
+  // dbms_vs_custom_maxscore_ratio gate compares like conditions. The
+  // dispatch level is captured NOW: experiment 3 toggles SIMD for its
+  // scalar/SIMD sweep and leaves it enabled, which must not launder a
+  // scalar ranked run into a gated one.
+  const bool ranked_on_avx2 = compress::internal::ActiveSimdLevel() ==
+                              compress::internal::SimdLevel::kAvx2;
+  RunMeasurement custom_ms;
+  RunMeasurement bm25_ms;
+  MeasureRunPaired(
+      eval_queries, queries, qrels,
+      [&](const ir::Query& q, std::vector<int32_t>* docids, double* secs,
+          vec::ExecStats* stats, uint64_t* matches) {
+        (void)stats;
+        ir::CustomSearchResult r;
+        bench::CheckOk(custom.SearchMaxScore(q, 20, &r), "custom search");
+        *docids = std::move(r.docids);
+        *secs = r.cpu_seconds;
+        *matches = r.num_matches;
+      },
+      run_dbms(ir::RunType::kBm25, stream_opts), &custom_ms, &bm25_ms);
+  ranked.AddRow({"Custom IR engine (MaxScore)", StrFormat("%.4f", custom_ms.p20),
+                 StrFormat("%.3f", custom_ms.avg_ms),
+                 "DAAT + exact top-k pruning"});
+  json.Add("custom_maxscore",
+           StrFormat("\"p20\": %.4f, \"avg_ms\": %.4f", custom_ms.p20,
+                     custom_ms.avg_ms));
+
   const RunMeasurement bm25_pr3 = MeasureRun(
       eval_queries, queries, qrels, run_dbms(ir::RunType::kBm25, pr3_opts),
       /*scored=*/true);
@@ -268,27 +374,36 @@ int Run() {
   json.Add("dbms_bm25_union",
            StrFormat("\"p20\": %.4f, \"avg_ms\": %.4f", bm25_pr3.p20,
                      bm25_pr3.avg_ms));
-
-  const RunMeasurement bm25_ms = MeasureRun(
-      eval_queries, queries, qrels, run_dbms(ir::RunType::kBm25, stream_opts),
-      /*scored=*/true);
-  ranked.AddRow({"DBMS BM25 (streaming MaxScore)",
+  ranked.AddRow({"DBMS BM25 (Block-Max MaxScore)",
                  StrFormat("%.4f", bm25_ms.p20),
                  StrFormat("%.3f", bm25_ms.avg_ms),
-                 StrFormat("%llu vectors pruned, %llu probes",
+                 StrFormat("%llu blockmax-skipped, %llu fused wins",
                            static_cast<unsigned long long>(
-                               bm25_ms.stats.vectors_pruned),
+                               bm25_ms.stats.windows_blockmax_skipped),
                            static_cast<unsigned long long>(
-                               bm25_ms.stats.docs_probed))});
+                               bm25_ms.stats.fused_windows))});
   json.Add("dbms_bm25_maxscore",
            StrFormat("\"p20\": %.4f, \"avg_ms\": %.4f, "
-                     "\"vectors_pruned\": %llu, \"docs_probed\": %llu",
+                     "\"vectors_pruned\": %llu, \"docs_probed\": %llu, "
+                     "\"windows_blockmax_skipped\": %llu, "
+                     "\"fused_windows\": %llu",
                      bm25_ms.p20, bm25_ms.avg_ms,
                      static_cast<unsigned long long>(
                          bm25_ms.stats.vectors_pruned),
                      static_cast<unsigned long long>(
-                         bm25_ms.stats.docs_probed)));
+                         bm25_ms.stats.docs_probed),
+                     static_cast<unsigned long long>(
+                         bm25_ms.stats.windows_blockmax_skipped),
+                     static_cast<unsigned long long>(
+                         bm25_ms.stats.fused_windows)));
   ranked.Print();
+  // Block-Max skips must never change what the user sees: p@20 of the
+  // Block-Max run has to match the score-all union oracle exactly.
+  if (bm25_ms.p20 != bm25_pr3.p20) {
+    std::fprintf(stderr, "FATAL Block-Max p@20 drifted: %.6f vs %.6f\n",
+                 bm25_ms.p20, bm25_pr3.p20);
+    return 1;
+  }
 
   // ---- Experiment 2: conjunctive streaming vs materialized ----
   std::printf("\n--- Conjunctive (BoolAND) queries: %zu multi-term ---\n",
@@ -344,12 +459,39 @@ int Run() {
                   and_stream.stats.windows_skipped));
   std::printf("GATE bm25_vectors_pruned %llu\n",
               static_cast<unsigned long long>(bm25_ms.stats.vectors_pruned));
+  // PR 9 gates: Block-Max skipping must actually fire over the efficiency
+  // batch (the query log is 25% single- and 40% two-term, where the static
+  // other-term bound leaves θ room to clear per-window bounds), and the
+  // DBMS Block-Max MaxScore run must be at least as fast as the hand-rolled
+  // custom MaxScore engine (ratio <= 1.0 — the Table 1 claim, now won
+  // outright rather than merely "competitive").
+  std::printf("GATE bm25_blockmax_skipped %llu\n",
+              static_cast<unsigned long long>(
+                  bm25_ms.stats.windows_blockmax_skipped));
+  std::printf("GATE bm25_fused_windows %llu\n",
+              static_cast<unsigned long long>(bm25_ms.stats.fused_windows));
+  std::printf("GATE dbms_vs_custom_maxscore_ratio %.3f\n",
+              bm25_ms.avg_ms / custom_ms.avg_ms);
+  // Self-disabling escape hatch (the speedup_gated pattern): the <= 1.0
+  // ratio claim rides on the AVX2 fused/select kernels AND on full-scale
+  // lists long enough to amortize the DBMS's per-query setup — a scalar
+  // host or the tiny CI collection reports the ratio but is not held to
+  // it. Block-Max skips need full scale too (θ never clears a window
+  // bound over 2k-doc lists).
+  const bool ratio_gated =
+      ranked_on_avx2 && bench::Scale() != bench::BenchScale::kTiny;
+  std::printf("GATE maxscore_ratio_gated %d\n", ratio_gated ? 1 : 0);
   json.Add("gates",
            StrFormat("\"bm25_vs_daat_ratio\": %.3f, "
                      "\"and_streaming_speedup\": %.3f, "
-                     "\"simd_beats_scalar\": %s",
+                     "\"simd_beats_scalar\": %s, "
+                     "\"bm25_blockmax_skipped\": %llu, "
+                     "\"dbms_vs_custom_maxscore_ratio\": %.3f",
                      bm25_ms.avg_ms / daat.avg_ms, and_speedup,
-                     simd_beats_scalar ? "true" : "false"));
+                     simd_beats_scalar ? "true" : "false",
+                     static_cast<unsigned long long>(
+                         bm25_ms.stats.windows_blockmax_skipped),
+                     bm25_ms.avg_ms / custom_ms.avg_ms));
   json.WriteIfRequested();
 
   std::printf(

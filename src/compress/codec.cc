@@ -472,6 +472,24 @@ WindowExtent BlockDecoder::WindowExtentOf(uint32_t w) const {
   return ext;
 }
 
+WindowView BlockDecoder::WindowViewOf(uint32_t w) const {
+  assert(!meta_only_ && "payload not resident (metadata-only init)");
+  WindowView view;
+  if (meta_only_) return view;
+  Entry ep;
+  view.exc_count = ExceptionsInWindow(w, &ep);
+  view.payload = codes_ + ep.payload_off;
+  view.exc = exceptions_ +
+             static_cast<size_t>(ep.exc_start) * sizeof(ExceptionRecord);
+  view.begin = w * kEntryPointStride;
+  view.len = WindowLen(w);
+  view.bit_width = bit_width_;
+  view.base = base_;
+  view.dense = ep.first_exc == kDenseWindow;
+  if (view.dense) view.exc_count = 0;
+  return view;
+}
+
 void BlockDecoder::DecodeWindowDetached(uint32_t w, const uint8_t* payload,
                                         const uint8_t* exc,
                                         int32_t* dst) const {
@@ -540,12 +558,10 @@ void BlockDecoder::DecodeWindow(uint32_t w, int32_t* dst) const {
     }
     // LOOP2: patch exceptions from the materialized records — sequential
     // reads, scattered stores, no data-dependent branches.
-    const auto* exc =
-        reinterpret_cast<const ExceptionRecord*>(exceptions_) + ep.exc_start;
-    const uint32_t begin = w * kEntryPointStride;
-    for (uint32_t k = 0; k < nexc; ++k) {
-      dst[exc[k].pos - begin] = exc[k].value;
-    }
+    internal::GetPatch()(
+        exceptions_ + static_cast<size_t>(ep.exc_start) *
+                          sizeof(ExceptionRecord),
+        nexc, w * kEntryPointStride, dst);
   }
 
   // LOOP3 (PFOR-DELTA): prefix-sum the patched deltas from the window's
@@ -602,7 +618,7 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
   const bool dict_scheme = scheme_ == Scheme::kPdict;
   const auto unpack_add = internal::GetUnpackAdd(bit_width_);
   const auto unpack_dict = internal::GetUnpackDict(bit_width_);
-  const auto* exc = reinterpret_cast<const ExceptionRecord*>(exceptions_);
+  const auto patch = internal::GetPatch();
   int32_t delta_acc = 0;
 
   // Process kBatchWindows windows per batch: LOOP1 unpacks the batch (a few
@@ -637,9 +653,9 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
       // LOOP2: one flat run over the batch's slice of the exception
       // records. One sequential 8-byte load and one scattered store per
       // exception — no data-dependent branches, no pointer chase.
-      for (uint32_t k = eps[0].exc_start; k < exc_hi; ++k) {
-        out[exc[k].pos] = exc[k].value;
-      }
+      patch(exceptions_ + static_cast<size_t>(eps[0].exc_start) *
+                              sizeof(ExceptionRecord),
+            exc_hi - eps[0].exc_start, 0, out);
     } else {
       // Mixed batch: per window, memcpy dense payloads, unpack + patch the
       // rest.
@@ -659,9 +675,9 @@ void BlockDecoder::DecodeAll(int32_t* out) const {
         }
         const uint32_t wexc_hi =
             l + 1 < nlanes ? eps[l + 1].exc_start : exc_hi;
-        for (uint32_t k = eps[l].exc_start; k < wexc_hi; ++k) {
-          out[exc[k].pos] = exc[k].value;
-        }
+        patch(exceptions_ + static_cast<size_t>(eps[l].exc_start) *
+                                sizeof(ExceptionRecord),
+              wexc_hi - eps[l].exc_start, 0, out);
       }
     }
 

@@ -110,6 +110,25 @@ struct WindowExtent {
   uint32_t exc_count = 0;    // 8-byte records, contiguous per window
 };
 
+// Borrowed pointers into one window's resident decode inputs — what a fused
+// consumer (ir/fused_score.h) needs to unpack-and-transform a window without
+// materializing the intermediate int32 vector. Only meaningful for
+// full-payload inits (Init, not InitMeta) of patched-layout blocks.
+// `payload` has the block's trailing slack behind it, so the LOOP1 kernels'
+// over-reads stay in bounds. For kPfor, value = base + codeword (exceptions
+// override with their record value); dense windows store raw int32 values
+// and carry no exception records.
+struct WindowView {
+  const uint8_t* payload = nullptr;  // packed codewords, or raw int32 (dense)
+  const uint8_t* exc = nullptr;      // this window's exception records
+  uint32_t exc_count = 0;
+  uint32_t begin = 0;  // block-absolute index of the window's first value
+  uint32_t len = 0;    // values in the window (<= kEntryPointStride)
+  int bit_width = 0;
+  int32_t base = 0;    // FOR base added to every unpacked codeword
+  bool dense = false;
+};
+
 class BlockDecoder {
  public:
   BlockDecoder() = default;
@@ -142,6 +161,12 @@ class BlockDecoder {
 
   // Byte extents of window w's decode inputs (w < entry_count()).
   WindowExtent WindowExtentOf(uint32_t w) const;
+
+  // Resident-pointer view of window w for fused decode→transform kernels.
+  // Requires a full Init (asserts / returns an empty view after InitMeta)
+  // and the patched layout; exception positions must have been vetted by
+  // Validate() if the block is untrusted.
+  WindowView WindowViewOf(uint32_t w) const;
 
   // Decodes window w into dst[0..WindowLen(w)) from detached buffers:
   // `payload` points at the window's payload bytes with at least 8 readable

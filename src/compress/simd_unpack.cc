@@ -1,12 +1,15 @@
 // LOOP1 unpack kernels: the scalar per-width template table (the portable
-// ground truth) and the SSE/NEON shuffle-table kernels for b in {4, 8, 16},
-// plus the runtime dispatch described in unpack.h.
+// ground truth), the SSE/NEON shuffle-table kernels for b in {4, 8, 16},
+// the generic AVX2 kernels for every b in [1, kMaxBitWidth], the LOOP2
+// exception-patch kernels, plus the runtime dispatch described in unpack.h.
 #include "compress/unpack.h"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "compress/block_layout.h"
 #include "compress/codec.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -178,6 +181,173 @@ __attribute__((target("ssse3"))) void UnpackAdd4Sse(const uint8_t* src,
   if (i < n) UnpackAdd<4>(src + i / 2, n - i, base, out + i);
 }
 
+// ---------------------------------------------------------------------------
+// Generic AVX2 kernels: LOOP1 unpack for *every* width b in
+// [1, kMaxBitWidth], 8 values per iteration. A group of 8 b-bit codewords
+// spans exactly b bytes, so group g starts byte-aligned at src + g*b. Two
+// 16-byte loads — the group start and byte (4b)>>3 — are stacked into one
+// 256-bit register so lane l's codeword dword is reachable by the in-lane
+// vpshufb (source index <= 15 for every b <= 30); a per-lane variable
+// right shift + mask then isolates the codeword. Widths b >= 26 can
+// straddle the shuffled dword (shift + b > 32): a second shuffle fetches
+// the spill byte and a variable left shift ORs the missing high bits in.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m128i LoadU128(const uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+// Per-lane layout constants for one 8-value group at width B. Lanes 0..3
+// shuffle from the low 16-byte load, lanes 4..7 from the high load at byte
+// (4B)>>3; Off() is the byte offset *within the lane's half*.
+template <int B>
+struct Avx2Lane {
+  static constexpr int Off(int l) {
+    return l < 4 ? (l * B) >> 3 : ((l * B) >> 3) - ((4 * B) >> 3);
+  }
+  static constexpr int Shift(int l) { return (l * B) & 7; }
+  // True when the codeword straddles its shuffled dword (only b >= 26).
+  static constexpr bool Spill(int l) { return Shift(l) + B > 32; }
+};
+
+// Four vpshufb control bytes selecting lane l's dword (bytes Off..Off+3 of
+// its half), and the spill-byte control (byte Off+4 into the lane's low
+// byte, or 0x80 = zero-fill for lanes that don't straddle).
+#define X100IR_AVX2_LANE(l)                           \
+  static_cast<char>(Avx2Lane<B>::Off(l)),             \
+      static_cast<char>(Avx2Lane<B>::Off(l) + 1),     \
+      static_cast<char>(Avx2Lane<B>::Off(l) + 2),     \
+      static_cast<char>(Avx2Lane<B>::Off(l) + 3)
+#define X100IR_AVX2_SPILL(l)                                         \
+  static_cast<char>(Avx2Lane<B>::Spill(l) ? Avx2Lane<B>::Off(l) + 4  \
+                                          : -128),                   \
+      -128, -128, -128
+
+template <int B>
+__attribute__((target("avx2"))) void UnpackAddAvx2(const uint8_t* src,
+                                                   uint32_t n, int32_t base,
+                                                   int32_t* out) {
+  static_assert(B >= 1 && B <= kMaxBitWidth, "width out of range");
+  constexpr uint32_t kHoff = (4 * B) >> 3;
+  const __m256i shuf = _mm256_setr_epi8(
+      X100IR_AVX2_LANE(0), X100IR_AVX2_LANE(1), X100IR_AVX2_LANE(2),
+      X100IR_AVX2_LANE(3), X100IR_AVX2_LANE(4), X100IR_AVX2_LANE(5),
+      X100IR_AVX2_LANE(6), X100IR_AVX2_LANE(7));
+  const __m256i shifts = _mm256_setr_epi32(
+      Avx2Lane<B>::Shift(0), Avx2Lane<B>::Shift(1), Avx2Lane<B>::Shift(2),
+      Avx2Lane<B>::Shift(3), Avx2Lane<B>::Shift(4), Avx2Lane<B>::Shift(5),
+      Avx2Lane<B>::Shift(6), Avx2Lane<B>::Shift(7));
+  const __m256i mask = _mm256_set1_epi32(static_cast<int32_t>((1u << B) - 1));
+  const __m256i vbase = _mm256_set1_epi32(base);
+  // Bound full groups so the 16-byte loads stay inside the bytes the scalar
+  // kernel may touch: the codewords plus the guaranteed kBlockPadBytes of
+  // slack. Group g's furthest load ends at byte g*B + kHoff + 16.
+  const uint64_t readable =
+      (static_cast<uint64_t>(n) * B + 7) / 8 + kBlockPadBytes;
+  uint64_t groups = n / 8;
+  if (readable < kHoff + 16) {
+    groups = 0;
+  } else {
+    const uint64_t fit = (readable - kHoff - 16) / B + 1;
+    if (fit < groups) groups = fit;
+  }
+  uint32_t i = 0;
+  for (uint64_t g = 0; g < groups; ++g, i += 8) {
+    const uint8_t* p = src + static_cast<size_t>(g) * B;
+    const __m256i v = _mm256_set_m128i(LoadU128(p + kHoff), LoadU128(p));
+    __m256i w = _mm256_srlv_epi32(_mm256_shuffle_epi8(v, shuf), shifts);
+    if constexpr (B >= 26) {
+      const __m256i spill_shuf = _mm256_setr_epi8(
+          X100IR_AVX2_SPILL(0), X100IR_AVX2_SPILL(1), X100IR_AVX2_SPILL(2),
+          X100IR_AVX2_SPILL(3), X100IR_AVX2_SPILL(4), X100IR_AVX2_SPILL(5),
+          X100IR_AVX2_SPILL(6), X100IR_AVX2_SPILL(7));
+      // Left shift by 32 - shift places the spill byte's bit 0 exactly
+      // where the right-shifted dword ran out; lanes without a spill got a
+      // zero byte (0x80 control) and a shift >= 32 also yields zero.
+      const __m256i lshifts = _mm256_setr_epi32(
+          32 - Avx2Lane<B>::Shift(0), 32 - Avx2Lane<B>::Shift(1),
+          32 - Avx2Lane<B>::Shift(2), 32 - Avx2Lane<B>::Shift(3),
+          32 - Avx2Lane<B>::Shift(4), 32 - Avx2Lane<B>::Shift(5),
+          32 - Avx2Lane<B>::Shift(6), 32 - Avx2Lane<B>::Shift(7));
+      w = _mm256_or_si256(
+          w, _mm256_sllv_epi32(_mm256_shuffle_epi8(v, spill_shuf), lshifts));
+    }
+    w = _mm256_add_epi32(_mm256_and_si256(w, mask), vbase);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w);
+  }
+  // Scalar tail resumes byte-aligned: i is a multiple of 8, so i*B bits is
+  // exactly i/8 * B bytes.
+  if (i < n) {
+    UnpackAdd<B>(src + static_cast<size_t>(i / 8) * B, n - i, base, out + i);
+  }
+}
+
+#undef X100IR_AVX2_LANE
+#undef X100IR_AVX2_SPILL
+
+template <std::size_t I>
+constexpr UnpackAddFn Avx2EntryOrNull() {
+  if constexpr (I >= 1 && I <= kMaxBitWidth) {
+    return &UnpackAddAvx2<static_cast<int>(I)>;
+  } else {
+    return nullptr;  // b == 0 (constant run) stays scalar
+  }
+}
+
+template <std::size_t... I>
+constexpr std::array<UnpackAddFn, sizeof...(I)> MakeAvx2UnpackAddTable(
+    std::index_sequence<I...>) {
+  return {{Avx2EntryOrNull<I>()...}};
+}
+
+constexpr auto kAvx2UnpackAdd =
+    MakeAvx2UnpackAddTable(std::make_index_sequence<kMaxBitWidth + 1>{});
+
+#endif  // X100IR_UNPACK_SSE
+
+// ---------------------------------------------------------------------------
+// LOOP2 exception-patch kernels. The scattered stores are inherently scalar
+// (no int32 scatter below AVX-512), but the AVX2 variant deinterleaves four
+// 8-byte {value, pos} records per 32-byte load so the address/value lanes
+// arrive as two contiguous quads instead of eight strided loads.
+// ---------------------------------------------------------------------------
+
+void PatchScalar(const uint8_t* recs, uint32_t count, uint32_t out_base,
+                 int32_t* out) {
+  for (uint32_t k = 0; k < count; ++k) {
+    ExceptionRecord rec;
+    std::memcpy(&rec, recs + static_cast<size_t>(k) * sizeof(ExceptionRecord),
+                sizeof(rec));
+    out[rec.pos - out_base] = rec.value;
+  }
+}
+
+#if defined(X100IR_UNPACK_SSE)
+
+__attribute__((target("avx2"))) void PatchAvx2(const uint8_t* recs,
+                                               uint32_t count,
+                                               uint32_t out_base,
+                                               int32_t* out) {
+  const __m256i deint = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  uint32_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256i r = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        recs + static_cast<size_t>(k) * sizeof(ExceptionRecord)));
+    alignas(32) int32_t lanes[8];  // [v0 v1 v2 v3 | p0 p1 p2 p3]
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_permutevar8x32_epi32(r, deint));
+    // Positions are unique within a block, so store order is irrelevant.
+    out[static_cast<uint32_t>(lanes[4]) - out_base] = lanes[0];
+    out[static_cast<uint32_t>(lanes[5]) - out_base] = lanes[1];
+    out[static_cast<uint32_t>(lanes[6]) - out_base] = lanes[2];
+    out[static_cast<uint32_t>(lanes[7]) - out_base] = lanes[3];
+  }
+  if (k < count) {
+    PatchScalar(recs + static_cast<size_t>(k) * sizeof(ExceptionRecord),
+                count - k, out_base, out);
+  }
+}
+
 #endif  // X100IR_UNPACK_SSE
 
 // ---------------------------------------------------------------------------
@@ -276,6 +446,7 @@ void UnpackAdd4Neon(const uint8_t* src, uint32_t n, int32_t base,
 
 SimdLevel DetectSimdLevel() {
 #if defined(X100IR_UNPACK_SSE)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
   return __builtin_cpu_supports("ssse3") ? SimdLevel::kSse
                                          : SimdLevel::kScalar;
 #elif defined(X100IR_UNPACK_NEON)
@@ -293,6 +464,11 @@ SimdLevel HostSimdLevel() {
 UnpackAddFn SimdUnpackAddOrNull(int b) {
   switch (HostSimdLevel()) {
 #if defined(X100IR_UNPACK_SSE)
+    case SimdLevel::kAvx2:
+      if (b >= 0 && b <= static_cast<int>(kMaxBitWidth)) {
+        return kAvx2UnpackAdd[b];
+      }
+      return nullptr;
     case SimdLevel::kSse:
       if (b == 4) return &UnpackAdd4Sse;
       if (b == 8) return &UnpackAdd8Sse;
@@ -311,7 +487,17 @@ UnpackAddFn SimdUnpackAddOrNull(int b) {
   }
 }
 
-bool g_simd_enabled = true;
+// Default: SIMD on. X100IR_FORCE_SCALAR=1 in the environment starts the
+// process with the dispatcher pinned to scalar — how CI's sanitizer
+// matrix runs the same suite over both kernel families without a
+// rebuild. SetSimdUnpackEnabled still overrides at runtime (tests toggle
+// both ways regardless of the starting state).
+bool InitialSimdEnabled() {
+  const char* e = std::getenv("X100IR_FORCE_SCALAR");
+  return e == nullptr || e[0] == '\0' || e[0] == '0';
+}
+
+bool g_simd_enabled = InitialSimdEnabled();
 
 }  // namespace
 
@@ -327,6 +513,17 @@ UnpackAddFn GetUnpackAdd(int b) {
 
 UnpackDictFn GetUnpackDict(int b) { return kScalarUnpackDict[b]; }
 
+PatchFn ScalarPatch() { return &PatchScalar; }
+
+PatchFn GetPatch() {
+#if defined(X100IR_UNPACK_SSE)
+  if (g_simd_enabled && HostSimdLevel() == SimdLevel::kAvx2) {
+    return &PatchAvx2;
+  }
+#endif
+  return &PatchScalar;
+}
+
 const char* SimdLevelName(SimdLevel level) {
   switch (level) {
     case SimdLevel::kScalar:
@@ -335,6 +532,8 @@ const char* SimdLevelName(SimdLevel level) {
       return "ssse3";
     case SimdLevel::kNeon:
       return "neon";
+    case SimdLevel::kAvx2:
+      return "avx2";
   }
   return "unknown";
 }

@@ -37,9 +37,25 @@ namespace x100ir::compress {
 
 // Per-cursor skipping telemetry, folded into the query's ExecStats by the
 // operators that own cursors.
+//
+// Partition invariant (pinned by Codec.SkipStatsPartitionExact): for any
+// driver that decodes or skips every window it traverses (value() /
+// CurrentRunView() / SkipTo / SkipCurrentWindowBlockMax — the engine's
+// refill loop is such a driver), every 128-value window overlapping the
+// cursor's [begin, end) range lands in exactly one of windows_decoded,
+// windows_skipped, or windows_blockmax_skipped by the time the cursor
+// exhausts. windows_decoded is *not* monotone in θ: a higher threshold can
+// skip a window early that a lower one would have decoded, then decode a
+// later window the lower one never reached — only the three-way sum is
+// invariant, which is why the drift audit checks the partition, not any
+// single counter.
 struct SkipStats {
   uint64_t windows_decoded = 0;  // 128-value windows actually decoded
-  uint64_t windows_skipped = 0;  // windows jumped over without decoding
+  uint64_t windows_skipped = 0;  // windows SkipTo jumped without decoding
+  // Windows rejected by a Block-Max bound (score upper bound < θ) without
+  // decoding. Disjoint from windows_skipped: value-based skips come from
+  // SkipTo's entry-point search, block-max skips from the caller's bound.
+  uint64_t windows_blockmax_skipped = 0;
   uint64_t skip_calls = 0;       // SkipTo invocations
 };
 
@@ -83,6 +99,60 @@ class SortedRangeCursor {
   // Advances one position; returns false at end.
   bool Next() { return ++pos_ < end_; }
 
+  // --- Window-granular bulk access (Block-Max MaxScore, DESIGN.md §12) ---
+
+  // Index of the window containing the cursor; requires !AtEnd().
+  uint32_t CurrentWindowIndex() const {
+    return static_cast<uint32_t>(pos_ / kEntryPointStride);
+  }
+
+  // Jumps past the current window without decoding it — the Block-Max
+  // reject, taken when the caller's per-window score upper bound cannot
+  // beat θ. Counted as blockmax-skipped unless the window is already
+  // decoded (then windows_decoded already owns it; each window lands in
+  // exactly one counter). Returns false when the cursor exhausts.
+  bool SkipCurrentWindowBlockMax() {
+    const uint32_t w = CurrentWindowIndex();
+    if (win_ != w) ++stats_.windows_blockmax_skipped;
+    pos_ = std::min<uint64_t>(
+        end_, static_cast<uint64_t>(w + 1) * kEntryPointStride);
+    return pos_ < end_;
+  }
+
+  // One decoded window's in-range slice: vals[lo..hi) are the values at
+  // block-absolute positions [win_base + lo, win_base + hi), all >= the
+  // cursor position and < end.
+  struct RunView {
+    const int32_t* vals = nullptr;  // the full decoded window
+    uint32_t win_index = 0;
+    uint64_t win_base = 0;  // block-absolute position of vals[0]
+    uint32_t win_len = 0;   // decoded values (may extend past the range)
+    uint32_t lo = 0;        // first in-range slot (== pos - win_base)
+    uint32_t hi = 0;        // one past the last in-range slot
+  };
+
+  // Decodes (if needed) the window containing the cursor and returns its
+  // in-range slice; requires !AtEnd(). The pointer stays valid until the
+  // cursor decodes another window.
+  RunView CurrentRunView() {
+    EnsureWindow();
+    RunView rv;
+    rv.vals = win_vals_;
+    rv.win_index = win_;
+    rv.win_base = win_base_;
+    rv.win_len = win_len_;
+    rv.lo = static_cast<uint32_t>(pos_ - win_base_);
+    rv.hi = static_cast<uint32_t>(
+        std::min<uint64_t>(end_, win_base_ + win_len_) - win_base_);
+    return rv;
+  }
+
+  // Forward-only positional advance (to the end of a consumed run); moves
+  // to min(pos, end) and never backwards.
+  void AdvanceTo(uint64_t pos) {
+    pos_ = std::max(pos_, std::min(pos, end_));
+  }
+
   // Advances to the first position >= the current one whose value is
   // >= target; returns false (cursor at end) when no such position exists.
   // Probes must be nondecreasing across calls.
@@ -116,6 +186,11 @@ class SortedRangeCursor {
         // block's final window), that window is the last candidate;
         // otherwise the range holds no value >= target.
         if (full_end > w_last) {
+          // The jump to end passes windows w_from..w_last without decoding
+          // them; they must still land in the skip count or the partition
+          // invariant (SkipStats comment) would leak exactly this branch.
+          stats_.windows_skipped +=
+              w_last - w_from + 1 - (win_ == w_from ? 1 : 0);
           pos_ = end_;
           return false;
         }

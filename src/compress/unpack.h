@@ -14,9 +14,23 @@
 //     __builtin_cpu_supports("ssse3") on x86-64 (kernels carry
 //     __attribute__((target("ssse3"))) so no global -m flags are needed),
 //     unconditionally on AArch64, scalar anywhere else.
+//   - a generic AVX2 kernel family covering *every* width b in
+//     [1, kMaxBitWidth] (DESIGN.md §12.2): 8 values per iteration. A group
+//     of 8 b-bit codewords spans exactly b bytes, so every group starts
+//     byte-aligned; two 16-byte loads (the second at byte (4b)>>3) put each
+//     value's dword in reach of an in-lane vpshufb, then a per-lane
+//     variable shift + mask isolates the codeword. Widths b >= 26 can
+//     straddle a dword (shift + b > 32); a second shuffle fetches the
+//     spill byte and a left-shift ORs the missing high bits in. Selected
+//     via __builtin_cpu_supports("avx2"), preferred over the SSSE3 kernels.
 //
-// The dictionary-gather shape (PDICT) stays scalar: there is no integer
-// gather below AVX2, and PDICT is off the posting-list hot path.
+// LOOP2 (exception patching) also has a dispatchable kernel: GetPatch()
+// returns either the scalar record loop or an AVX2 variant that
+// deinterleaves four 8-byte {value, pos} records per 32-byte load before
+// the (inherently scalar) scattered stores.
+//
+// The dictionary-gather shape (PDICT) stays scalar: PDICT is off the
+// posting-list hot path.
 //
 // SetSimdUnpackEnabled(false) forces the scalar table — the test/bench hook
 // for bit-exactness sweeps and the SIMD-vs-scalar speedup measurement
@@ -42,17 +56,32 @@ using UnpackAddFn = void (*)(const uint8_t* src, uint32_t n, int32_t base,
                              int32_t* out);
 using UnpackDictFn = void (*)(const uint8_t* src, uint32_t n,
                               const int32_t* dict, int32_t* out);
+// LOOP2: out[rec.pos - out_base] = rec.value for each 8-byte
+// {int32 value, uint32 pos} ExceptionRecord in recs[0..count). Positions
+// are block-absolute; out_base rebases them (0 for whole-block patching,
+// the window's first position for per-window patching). The caller
+// guarantees every rebased position is in bounds (Validate() vets records
+// once per block).
+using PatchFn = void (*)(const uint8_t* recs, uint32_t count,
+                         uint32_t out_base, int32_t* out);
 
 // Always-scalar kernels (test oracle). b in [1, kMaxBitWidth].
 UnpackAddFn ScalarUnpackAdd(int b);
 UnpackDictFn ScalarUnpackDict(int b);
+PatchFn ScalarPatch();
 
-// Dispatched kernels: SIMD for b in {4, 8, 16} when available and enabled,
-// scalar otherwise.
+// Dispatched kernels: SIMD when available and enabled (all widths at
+// kAvx2, b in {4, 8, 16} at kSse/kNeon), scalar otherwise.
 UnpackAddFn GetUnpackAdd(int b);
 UnpackDictFn GetUnpackDict(int b);
+PatchFn GetPatch();
 
-enum class SimdLevel : uint8_t { kScalar = 0, kSse = 1, kNeon = 2 };
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kSse = 1,
+  kNeon = 2,
+  kAvx2 = 3,
+};
 const char* SimdLevelName(SimdLevel level);
 
 // What the dispatcher currently resolves to: the detected host level, or

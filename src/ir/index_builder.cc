@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <utility>
 
 #include "common/string_util.h"
@@ -124,6 +125,20 @@ Status UnpackTerms(const std::vector<uint8_t>& bytes, uint64_t count,
   return OkStatus();
 }
 
+// kBlockMaxFile packed as kBlockMaxRecordBytes-byte records, field by field
+// like PackTerms so struct padding never leaks into the format.
+std::vector<uint8_t> PackBlockMax(const std::vector<BlockMaxEntry>& entries) {
+  std::vector<uint8_t> bytes(entries.size() * kBlockMaxRecordBytes);
+  uint8_t* p = bytes.data();
+  for (const BlockMaxEntry& e : entries) {
+    std::memcpy(p, &e.max_tf, 4);
+    std::memcpy(p + 4, &e.min_doclen, 4);
+    std::memcpy(p + 8, &e.ub, 4);
+    p += kBlockMaxRecordBytes;
+  }
+  return bytes;
+}
+
 Status MakeBlockSource(std::vector<uint8_t> block,
                        std::unique_ptr<vec::BlockVectorSource>* out,
                        uint64_t expected_n, const char* what) {
@@ -199,11 +214,76 @@ Status InvertedIndex::LoadSideTables(const std::string& dir) {
   return OkStatus();
 }
 
+// Fills blockmax_ from the TD columns (DESIGN.md §12.1). Windows are
+// positional (kEntryPointStride postings), so a record can span term
+// boundaries — mixing terms only raises max_tf / lowers min_doclen, i.e.
+// over-estimates any single term's bound, which stays sound. `ub` is the
+// bound under the build parameters with idf = 1; query engines recompute
+// Bm25One(idf, max_tf, min_doclen) with live parameters instead of
+// scaling this float (scaling could round below the true bound).
+void InvertedIndex::ComputeBlockMax(const std::vector<int32_t>& docid_col,
+                                    const std::vector<int32_t>& tf_col) {
+  constexpr uint64_t kStride = compress::kEntryPointStride;
+  const uint64_t n = docid_col.size();
+  const uint64_t windows = (n + kStride - 1) / kStride;
+  blockmax_.assign(windows, BlockMaxEntry());
+  const float inv_avgdl =
+      avg_doc_len_ > 0.0 ? static_cast<float>(1.0 / avg_doc_len_) : 0.0f;
+  for (uint64_t w = 0; w < windows; ++w) {
+    const uint64_t lo = w * kStride;
+    const uint64_t hi = std::min<uint64_t>(n, lo + kStride);
+    int32_t max_tf = 0;
+    int32_t min_dl = std::numeric_limits<int32_t>::max();
+    for (uint64_t p = lo; p < hi; ++p) {
+      max_tf = std::max(max_tf, tf_col[p]);
+      min_dl = std::min(min_dl, doc_lens_[docid_col[p]]);
+    }
+    BlockMaxEntry& e = blockmax_[w];
+    e.max_tf = max_tf;
+    e.min_doclen = min_dl;
+    e.ub = Bm25One(1.0f, static_cast<float>(max_tf),
+                   static_cast<float>(min_dl), kMaterializedK1,
+                   kMaterializedB, inv_avgdl);
+  }
+}
+
+Status InvertedIndex::LoadBlockMax(const std::string& dir) {
+  std::vector<uint8_t> payload;
+  uint64_t count = 0;
+  X100IR_RETURN_IF_ERROR(ReadColumnFile(dir + "/" + kBlockMaxFile,
+                                        ColumnFileHeader::kOpaque, &count,
+                                        &payload));
+  constexpr uint64_t kStride = compress::kEntryPointStride;
+  const uint64_t windows = (num_postings_ + kStride - 1) / kStride;
+  if (count != windows ||
+      payload.size() != windows * kBlockMaxRecordBytes) {
+    return Internal("block-max file disagrees with index.meta");
+  }
+  blockmax_.assign(windows, BlockMaxEntry());
+  const uint8_t* p = payload.data();
+  for (BlockMaxEntry& e : blockmax_) {
+    std::memcpy(&e.max_tf, p, 4);
+    std::memcpy(&e.min_doclen, p + 4, 4);
+    std::memcpy(&e.ub, p + 8, 4);
+    // Structural sanity: negative maxima or a non-finite bound cannot come
+    // from any build and would poison the skip condition.
+    if (e.max_tf < 0 || e.min_doclen < 0 || !std::isfinite(e.ub) ||
+        e.ub < 0.0f) {
+      return Internal("corrupt block-max record in " + dir);
+    }
+    p += kBlockMaxRecordBytes;
+  }
+  return OkStatus();
+}
+
 Status InvertedIndex::EncodeAndPersist(const std::string& dir,
                                        uint64_t corpus_fingerprint,
                                        const std::vector<int32_t>& docid_col,
                                        const std::vector<int32_t>& tf_col) {
   const uint64_t n = docid_col.size();
+  // Block-max metadata rides along every build (in-memory, persisted, and
+  // segment/merge builds all funnel through here).
+  ComputeBlockMax(docid_col, tf_col);
   // Docid deltas keep FOR base 0 (force_base): within a posting
   // list deltas are small positives, and the one large negative delta at
   // each term boundary becomes an exception instead of dragging the frame
@@ -244,6 +324,10 @@ Status InvertedIndex::EncodeAndPersist(const std::string& dir,
     X100IR_RETURN_IF_ERROR(WriteColumnFile(
         dir + "/" + kDoclenFile, ColumnFileHeader::kRawI32, doc_lens_.size(),
         doc_lens_.data(), doc_lens_.size() * sizeof(int32_t)));
+    const std::vector<uint8_t> blockmax_bytes = PackBlockMax(blockmax_);
+    X100IR_RETURN_IF_ERROR(WriteColumnFile(
+        dir + "/" + kBlockMaxFile, ColumnFileHeader::kOpaque,
+        blockmax_.size(), blockmax_bytes.data(), blockmax_bytes.size()));
     // Meta last: a torn run leaves columns without meta, which reads as
     // "rebuild" next time instead of "trust stale files".
     X100IR_RETURN_IF_ERROR(WriteMeta(dir + "/" + kIndexMetaFile,
@@ -456,7 +540,7 @@ Status InvertedIndex::BuildImpl(const Corpus& corpus, const std::string& dir,
       MetaMatches(dir + "/" + kIndexMetaFile, fingerprint, num_postings_,
                   num_docs_, vocab_size()) &&
       SideTablesMatch(dir) && TryLoadColumns(dir).ok() &&
-      AttachStorage(dir, owned, shared).ok()) {
+      LoadBlockMax(dir).ok() && AttachStorage(dir, owned, shared).ok()) {
     stats->reused_files = true;
   } else {
     storage_.reset();
@@ -526,6 +610,7 @@ Status InvertedIndex::LoadFromDir(const std::string& dir,
     return Internal("terms file df sum disagrees with index.meta");
   }
   X100IR_RETURN_IF_ERROR(TryLoadColumns(dir));
+  X100IR_RETURN_IF_ERROR(LoadBlockMax(dir));
   return AttachStorage(dir, nullptr, &binding);
 }
 

@@ -99,6 +99,12 @@ class InvertedIndex {
   const TermInfo& term(uint32_t t) const { return terms_[t]; }
   const std::vector<int32_t>& doc_lens() const { return doc_lens_; }
 
+  // Per-128-window block-max metadata over the whole TD table, one entry
+  // per window of the docid/tf columns (Block-Max MaxScore, DESIGN.md
+  // §12). Built alongside the columns and persisted (kBlockMaxFile);
+  // always populated, for in-memory, rebuilt, and reused/loaded indexes.
+  const std::vector<BlockMaxEntry>& block_max() const { return blockmax_; }
+
   // Whole-TD-table columns; slice with [term(t).posting_start,
   // + term(t).doc_freq) for one posting list.
   const vec::VectorSource* docid_source() const { return docid_source_.get(); }
@@ -162,6 +168,13 @@ class InvertedIndex {
   bool SideTablesMatch(const std::string& dir) const;
   // Reads the side tables into terms_/doc_lens_ (the corpus-free path).
   Status LoadSideTables(const std::string& dir);
+  // Fills blockmax_ from the TD columns (every build path).
+  void ComputeBlockMax(const std::vector<int32_t>& docid_col,
+                       const std::vector<int32_t>& tf_col);
+  // Reads kBlockMaxFile into blockmax_ with structural validation; any
+  // failure means "rebuild" on the reuse path and a hard error on
+  // LoadFromDir — v4 directories must carry a sane block-max table.
+  Status LoadBlockMax(const std::string& dir);
   Status EncodeAndPersist(const std::string& dir, uint64_t corpus_fingerprint,
                           const std::vector<int32_t>& docid_col,
                           const std::vector<int32_t>& tf_col);
@@ -185,6 +198,7 @@ class InvertedIndex {
   int32_t min_doc_len_ = 0;
   std::vector<TermInfo> terms_;
   std::vector<int32_t> doc_lens_;
+  std::vector<BlockMaxEntry> blockmax_;
   std::unique_ptr<vec::BlockVectorSource> docid_source_;
   std::unique_ptr<vec::BlockVectorSource> tf_source_;
   std::unique_ptr<IndexStorage> storage_;

@@ -38,6 +38,11 @@ inline constexpr char kIndexMetaFile[] = "index.meta";
 // reopen loads them instead of recomputing from a corpus it doesn't have.
 inline constexpr char kTermsFile[] = "t_terms.col";
 inline constexpr char kDoclenFile[] = "d_doclen.col";
+// Block-max side table (v4): one BlockMaxEntry per 128-posting window of
+// the whole TD table (ceil(num_postings / kEntryPointStride) records,
+// encoding kOpaque). Windows are positional — they span term boundaries,
+// which only over-estimates any single term's bound and stays sound.
+inline constexpr char kBlockMaxFile[] = "td_blockmax.col";
 // Per-segment local→global docid map (absent for the base segment, whose
 // map is the identity), and the segment-set manifest at the database root.
 // The manifest is written to kManifestTmpFile and renamed into place —
@@ -86,10 +91,11 @@ struct IndexMetaHeader {
   // v2: the index directory additionally carries the materialized score
   // columns (kScoreF32File/kScoreQ8File). v3: plus the persisted side
   // tables (kTermsFile/kDoclenFile), making the directory loadable without
-  // the corpus — what Segment::Load needs on a manifest reopen. Bumping
-  // makes every older directory read as "rebuild", never as "reuse with
-  // files missing".
-  static constexpr uint32_t kVersion = 3;
+  // the corpus — what Segment::Load needs on a manifest reopen. v4: plus
+  // the block-max side table (kBlockMaxFile) behind Block-Max MaxScore.
+  // Bumping makes every older directory read as "rebuild", never as
+  // "reuse with files missing".
+  static constexpr uint32_t kVersion = 4;
 
   uint32_t magic = kMagic;
   uint32_t version = kVersion;
@@ -146,6 +152,23 @@ struct ManifestSegment {
   uint32_t num_docs = 0;
   uint32_t num_tombstone_words = 0;
   uint32_t reserved = 0;
+};
+
+// On-disk record of one 128-posting TD window (kBlockMaxFile, encoding
+// kOpaque): fields packed in this order, 12 bytes per window. max_tf and
+// min_doclen bound the window's postings; BM25 is increasing in tf and
+// decreasing in doclen, so for any query term overlapping the window and
+// any (k1, b, idf), score <= Bm25One(idf, max_tf, min_doclen) — the engine
+// recomputes that bound with live parameters rather than trusting `ub`,
+// which is the build-parameter (k1=1.2, b=0.75, idf=1) bound kept for
+// format validation and the soundness property test. Deletes only shrink a
+// window's true maxima, so stale bounds under tombstones stay sound.
+inline constexpr size_t kBlockMaxRecordBytes = 4 + 4 + 4;
+
+struct BlockMaxEntry {
+  int32_t max_tf = 0;
+  int32_t min_doclen = 0;
+  float ub = 0.0f;
 };
 
 // Per-term entry of the T table.

@@ -53,9 +53,16 @@ class DocidSkipCursor : public vec::SkipCursor {
   void FoldStats(vec::ExecStats* stats) override {
     stats->windows_decoded += cursor_.stats().windows_decoded;
     stats->windows_skipped += cursor_.stats().windows_skipped;
+    stats->windows_blockmax_skipped +=
+        cursor_.stats().windows_blockmax_skipped;
   }
 
   const compress::SkipStats& skip_stats() const { return cursor_.stats(); }
+
+  // The underlying range cursor, for window-granular drivers (the Block-Max
+  // MaxScore refill loop: CurrentWindowIndex / SkipCurrentWindowBlockMax /
+  // CurrentRunView / AdvanceTo).
+  compress::SortedRangeCursor& range_cursor() { return cursor_; }
 
  private:
   compress::SortedRangeCursor cursor_;

@@ -8,7 +8,9 @@
 #include "ir/search_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -18,6 +20,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "ir/bm25.h"
+#include "ir/fused_score.h"
 #include "ir/plan_ops.h"
 #include "ir/posting_cursor.h"
 #include "ir/topk.h"
@@ -279,11 +282,32 @@ Status SearchEngine::SearchBm25(const std::vector<uint32_t>& terms,
 // compressed docid windows — to complete the scores of candidates that
 // survive a branch-free threshold select.
 //
-// The evaluation stays vector-at-a-time: each essential term decodes and
-// scores vector_size postings per refill with the fused kernel, the merge
-// emits candidate vectors of (docid, partial score), and one SelectColVal
-// per vector rejects candidates whose partial + Σ(non-essential ubs) falls
-// below θ. Only survivors touch the probe cursors and the branchy heap.
+// The evaluation stays vector-at-a-time, and refills are *window-granular*
+// (Block-Max MaxScore, DESIGN.md §12): an essential stream advances one
+// 128-posting window at a time. Before decoding a window, the term's
+// stored (max_tf, min_doclen) block bound — recomputed under the live
+// (k1, b, idf) — is tested against θ: when even Σ(other terms' ubs) plus
+// this window's bound cannot reach θ, no document in the window can enter
+// the top k through *any* merge, so the window is skipped without
+// decoding (windows_blockmax_skipped). Decoded windows are scored with
+// the fused decode→score kernel (fused_score.h): the tf codewords go from
+// packed payload to BM25 contributions without materializing a tf vector.
+// The merge emits candidate vectors of (docid, partial score), and one
+// SelectColVal per vector rejects candidates whose partial +
+// Σ(non-essential ubs) falls below θ. Only survivors touch the probe
+// cursors and the branchy heap.
+//
+// Soundness of the per-term window skip: it fires only when
+// other_bound + ub_w < θ, where other_bound sums the *static* ubs of
+// every other query term. Any document d in the skipped window has
+// score(d) <= other_bound + ub_w < θ, so even when d still surfaces as a
+// candidate through another essential list, its completed score stays
+// below θ and the heap push is a no-op — the top k (and p@20) are
+// bit-identical to the unskipped oracle; only num_matches and the window
+// counters may differ. The same argument covers the demotion probe: a
+// probe cursor starts at the demoted stream's current vector, never
+// before, so it may miss contributions from earlier skipped windows —
+// missing them only lowers a score that is already provably below θ.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -293,13 +317,22 @@ struct MsTerm {
   uint32_t term = 0;
   float idf = 0.0f;
   float ub = 0.0f;
+  // Σ of every *other* query term's ub — the companion bound of the
+  // per-window skip test.
+  float other_bound = 0.0f;
   uint32_t df = 0;
+  uint64_t posting_start = 0;
 
-  // Essential phase: sequential stream + vectorized scoring buffers.
+  // Essential phase: sequential stream + vectorized scoring buffers. The
+  // buffers hold up to a full extra window past vector_size (refills
+  // append whole window slices); vec_start is the stream position of the
+  // current buffer's first posting — what a demotion hands the probe
+  // cursor as its resume offset (re-covering at most one buffered vector,
+  // which forward-only SkipTo crosses for free).
   DocidSkipCursor stream;
   TfWindowReader tf_reader;
-  uint64_t refilled = 0;  // postings pulled off the stream so far
-  std::vector<int32_t> docids, tfs, doclens;
+  uint64_t vec_start = 0;
+  std::vector<int32_t> docids;
   std::vector<float> scores;
   uint32_t voff = 0, vlen = 0;
 
@@ -329,7 +362,22 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
   const float min_dl = static_cast<float>(index_->min_doc_len());
 
   const size_t m = terms.size();
-  std::vector<MsTerm> states(m);
+  // A single-term query never leaves the solo-stream fast path, which
+  // reads decoded windows in place — no per-term buffers, no candidate
+  // staging, no initial refill. (Tombstoned reads use the generic merge.)
+  const bool solo_only = m == 1 && opts.tombstones == nullptr;
+  // Per-thread scratch, reused across queries: the posting buffers and
+  // cursor window caches keep their capacity (and their cache heat), so a
+  // steady query stream allocates nothing here after warm-up. The pool
+  // never shrinks — states[0..m) is this query's slice; every per-query
+  // field (voff/vlen/demoted/vec_start included) is re-initialized below,
+  // and cursor Init fully resets position and skip stats.
+  static thread_local std::vector<MsTerm> states_pool;
+  static thread_local std::vector<uint32_t> order;
+  static thread_local std::vector<float> prefix;
+  static thread_local std::vector<vec::sel_t> cand_sel;
+  if (states_pool.size() < m) states_pool.resize(m);
+  MsTerm* const states = states_pool.data();
   for (size_t i = 0; i < m; ++i) {
     MsTerm& ts = states[i];
     const TermInfo& info = index_->term(terms[i]);
@@ -338,82 +386,185 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
     ts.df = info.doc_freq;
     ts.ub = Bm25One(ts.idf, static_cast<float>(info.max_tf), min_dl, k1, bb,
                     inv_avgdl);
+    ts.posting_start = info.posting_start;
+    ts.voff = 0;
+    ts.vlen = 0;
+    ts.vec_start = 0;
+    ts.demoted = false;
     X100IR_RETURN_IF_ERROR(ts.stream.Init(index_, ts.term));
     ts.tf_reader.Init(index_->tf_source());
-    ts.docids.resize(vsize);
-    ts.tfs.resize(vsize);
-    ts.doclens.resize(vsize);
-    ts.scores.resize(vsize);
+    if (!solo_only) {
+      const uint32_t cap = vsize + compress::kEntryPointStride;
+      ts.docids.resize(cap);
+      ts.scores.resize(cap);
+    }
   }
 
   // Weakest-first order and upper-bound prefix sums: order[0..ness) is the
   // demoted (non-essential) prefix.
-  std::vector<uint32_t> order(m);
+  order.resize(m);
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&states](uint32_t a, uint32_t b) {
     if (states[a].ub != states[b].ub) return states[a].ub < states[b].ub;
     return states[a].term < states[b].term;
   });
-  std::vector<float> prefix(m);
+  prefix.resize(m);
   float acc = 0.0f;
   for (size_t i = 0; i < m; ++i) {
     acc += states[order[i]].ub;
     prefix[i] = acc;
   }
-
-  const auto refill = [&](MsTerm& ts) {
-    ts.voff = 0;
-    ts.vlen = 0;
-    while (ts.vlen < vsize && !ts.stream.AtEnd()) {
-      ts.docids[ts.vlen] = ts.stream.value();
-      ts.tfs[ts.vlen] = ts.tf_reader.TfAt(ts.stream.position());
-      ++ts.vlen;
-      ts.stream.Next();
-    }
-    ts.refilled += ts.vlen;
-    if (ts.vlen > 0) {
-      for (uint32_t i = 0; i < ts.vlen; ++i) {
-        ts.doclens[i] = doclens[ts.docids[i]];
-      }
-      MapBm25(ts.vlen, ts.scores.data(), ts.tfs.data(), ts.doclens.data(),
-              ts.idf, k1, bb, inv_avgdl);
-      ++ctx.stats.primitive_calls;
-    }
-  };
-  for (MsTerm& ts : states) refill(ts);
+  const float total_ub = m > 0 ? prefix[m - 1] : 0.0f;
+  for (size_t i = 0; i < m; ++i) states[i].other_bound = total_ub - states[i].ub;
 
   TopK topk(opts.k);
-  std::vector<int32_t> cand_d(vsize);
-  std::vector<float> cand_s(vsize);
-  std::vector<vec::sel_t> cand_sel(vsize);
+  if (!solo_only) {
+    // The solo fast path's buffer-drain pass selects over a whole buffered
+    // run, which can be up to one window longer than a candidate vector.
+    cand_sel.resize(vsize + compress::kEntryPointStride);
+  }
   uint64_t candidates = 0;
   size_t ness = 0;  // order[0..ness) are demoted
 
   // Distributed θ floor (DESIGN.md §11.3): the local heap's threshold,
   // raised to the cluster-wide k-th-best lower bound when a shared
-  // channel is plumbed in. Every pruning decision below (term demotion,
-  // the candidate select, probe-completion viability) goes through this,
-  // so a shard seeded by a faster peer starts pruning where that peer
-  // left off. Scores exactly at the bound always survive the >= / strict-<
-  // pruning tests, so the (score desc, docid asc) tiebreak at the global
-  // boundary is never cut off.
+  // channel is plumbed in. Every pruning decision below (the per-window
+  // block-max test, term demotion, the candidate select, probe-completion
+  // viability) goes through this, so a shard seeded by a faster peer
+  // starts pruning — and block-max-skipping windows — where that peer
+  // left off. Scores exactly at the bound always survive the >= /
+  // strict-< pruning tests, so the (score desc, docid asc) tiebreak at
+  // the global boundary is never cut off.
   SharedTheta* shared = opts.shared_theta;
   const auto live_theta = [&]() -> float {
     const float local = topk.threshold();
     return shared != nullptr ? std::max(local, shared->Load()) : local;
   };
 
+  // Block-max table and fused-kernel eligibility. The fused kernel wants
+  // resident PFOR tf windows in the patched layout; anything else (naive
+  // layout A/B builds, PDICT) keeps the composed decode+MapBm25 path —
+  // the "raw tfs needed" fallback of DESIGN.md §12.3.
+  const std::vector<BlockMaxEntry>& blockmax = index_->block_max();
+  const bool use_blockmax = opts.blockmax && !blockmax.empty();
+  const compress::BlockDecoder* tf_dec = index_->tf_decoder();
+  const bool can_fuse = opts.fused_score && tf_dec != nullptr &&
+                        tf_dec->scheme() == compress::Scheme::kPfor &&
+                        !tf_dec->naive_layout();
+
+  // Window-granular refill: append whole [lo, hi) window slices until the
+  // buffer holds at least vector_size postings or the stream ends. Each
+  // window is either rejected by its block bound without decoding, or
+  // docid-decoded once and scored in one kernel call.
+  const auto refill = [&](MsTerm& ts) {
+    ts.voff = 0;
+    ts.vlen = 0;
+    ts.vec_start = ts.stream.position();
+    compress::SortedRangeCursor& cur = ts.stream.range_cursor();
+    alignas(32) int32_t wdl[compress::kEntryPointStride];
+    alignas(32) int32_t wtf[compress::kEntryPointStride];
+    alignas(32) float wscore[compress::kEntryPointStride];
+    while (ts.vlen < vsize && !ts.stream.AtEnd()) {
+      const uint32_t w = cur.CurrentWindowIndex();
+      if (use_blockmax) {
+        const BlockMaxEntry& bm = blockmax[w];
+        const float wb =
+            Bm25One(ts.idf, static_cast<float>(bm.max_tf),
+                    static_cast<float>(bm.min_doclen), k1, bb, inv_avgdl);
+        if (ts.other_bound + wb < live_theta()) {
+          cur.SkipCurrentWindowBlockMax();
+          // Leading skips move the buffer's start: vec_start must name the
+          // first posting actually buffered (or the end, if none are).
+          if (ts.vlen == 0) ts.vec_start = ts.stream.position();
+          continue;
+        }
+      }
+      const compress::SortedRangeCursor::RunView rv = cur.CurrentRunView();
+      const uint32_t cnt = rv.hi - rv.lo;
+      if (can_fuse) {
+        const compress::WindowView view = tf_dec->WindowViewOf(rv.win_index);
+        GatherI32(doclens, rv.vals, rv.win_len, wdl);
+        if (FusedScoreTfWindow(view, wdl, ts.idf * (k1 + 1.0f),
+                               k1 * (1.0f - bb), k1 * bb * inv_avgdl,
+                               wscore)) {
+          std::memcpy(ts.docids.data() + ts.vlen, rv.vals + rv.lo,
+                      sizeof(int32_t) * cnt);
+          std::memcpy(ts.scores.data() + ts.vlen, wscore + rv.lo,
+                      sizeof(float) * cnt);
+          ++ctx.stats.fused_windows;
+          ++ctx.stats.primitive_calls;
+          ts.vlen += cnt;
+          cur.AdvanceTo(rv.win_base + rv.hi);
+          continue;
+        }
+      }
+      // Composed two-step path (also the fused kernel's agreement oracle):
+      // decode the tf slice, then one MapBm25 over it. The tf/doclen
+      // staging never outlives the kernel call, so it lives on the stack
+      // instead of per-term buffers (a window is at most one stride).
+      for (uint32_t i = 0; i < cnt; ++i) {
+        const uint32_t slot = rv.lo + i;
+        ts.docids[ts.vlen + i] = rv.vals[slot];
+        wtf[i] = ts.tf_reader.TfAt(rv.win_base + slot);
+        wdl[i] = doclens[rv.vals[slot]];
+      }
+      MapBm25(cnt, ts.scores.data() + ts.vlen, wtf, wdl, ts.idf, k1, bb,
+              inv_avgdl);
+      ++ctx.stats.primitive_calls;
+      ts.vlen += cnt;
+      cur.AdvanceTo(rv.win_base + rv.hi);
+    }
+  };
+  if (!solo_only) {
+    for (size_t i = 0; i < m; ++i) refill(states[i]);
+  }
+
   // Folds the per-term cursor stats into ctx.stats — shared by the normal
   // exit and the deadline bail-out, so a DeadlineExceeded result still
   // reports everything the query actually did.
   const auto fold_stats = [&] {
     result->num_matches = candidates;
-    for (MsTerm& ts : states) {
+    for (size_t i = 0; i < m; ++i) {
+      MsTerm& ts = states[i];
       ts.stream.FoldStats(&ctx.stats);
       if (ts.demoted) ts.probe.FoldStats(&ctx.stats);
       ctx.stats.tf_windows_decoded += ts.tf_reader.windows_decoded();
     }
     result->stats = ctx.stats;
+  };
+
+  // Window staging for the solo-stream fast path (one stride each; the
+  // docids never need staging — the cursor's decoded run is used in place).
+  alignas(32) int32_t sdl[compress::kEntryPointStride];
+  alignas(32) int32_t stf[compress::kEntryPointStride];
+  alignas(32) float sscore[compress::kEntryPointStride];
+  vec::sel_t wsel[compress::kEntryPointStride];
+
+  // Completes a candidate's partial score from the demoted lists,
+  // strongest first, with the live threshold: each probe either adds the
+  // term's real contribution or retires its ub from the remaining
+  // headroom; a candidate that provably cannot reach θ is dropped
+  // mid-chain. θ cannot rise inside one chain (no push until it ends), so
+  // one load covers it. Returns true after a heap push attempt — the
+  // caller's cached cut may be stale then.
+  const auto complete_and_push = [&](int32_t d, float s, size_t ness_now,
+                                     float bound) -> bool {
+    const float live = live_theta();
+    float remaining = bound;
+    for (size_t p = ness_now; p-- > 0;) {
+      if (s + remaining < live) return false;
+      MsTerm& nt = states[order[p]];
+      remaining -= nt.ub;
+      if (nt.probe.SkipTo(d) && nt.probe.value() == d) {
+        const float tf =
+            static_cast<float>(nt.tf_reader.TfAt(nt.probe.position()));
+        s += Bm25One(nt.idf, tf, static_cast<float>(doclens[d]), k1, bb,
+                     inv_avgdl);
+        ++ctx.stats.docs_probed;
+      }
+    }
+    topk.Push(d, s);
+    return true;
   };
 
   for (;;) {
@@ -430,7 +581,11 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
     while (ness < m && prefix[ness] < theta) {
       MsTerm& ts = states[order[ness]];
       ts.demoted = true;
-      const uint64_t consumed = ts.refilled - (ts.vlen - ts.voff);
+      // Resume the probe at the current buffer's first posting: forward
+      // SkipTo crosses the already-consumed prefix for free, and anything
+      // block-max skipping dropped before this point is provably below θ
+      // (see the soundness note above).
+      const uint64_t consumed = ts.vec_start - ts.posting_start;
       X100IR_RETURN_IF_ERROR(ts.probe.Init(index_, ts.term, consumed));
       const uint64_t remaining = ts.df - consumed;
       ctx.stats.vectors_pruned += (remaining + vsize - 1) / vsize;
@@ -440,73 +595,216 @@ Status SearchEngine::SearchBm25MaxScore(const std::vector<uint32_t>& terms,
     if (ness == m) break;  // even all terms together cannot reach θ
     const float ness_bound = ness > 0 ? prefix[ness - 1] : 0.0f;
 
-    // Merge one vector of candidates from the essential streams.
-    uint32_t fill = 0;
-    while (fill < vsize) {
-      int32_t d = 0;
-      bool any = false;
-      for (const MsTerm& ts : states) {
-        if (ts.demoted || ts.voff >= ts.vlen) continue;
-        const int32_t v = ts.docids[ts.voff];
-        if (!any || v < d) {
-          d = v;
-          any = true;
+    // Solo-stream fast path: with a single essential list left — every
+    // 1-term query, and every multi-term query once demotion has eaten the
+    // rest — there is nothing to merge. The cursor's decoded docid run is
+    // the candidate vector and the score kernel's output feeds the
+    // threshold select directly, so postings flow window-at-a-time from
+    // decode to select to heap with no staging copies at all.
+    // (Tombstoned reads keep the generic merge, which filters per doc.)
+    if (m - ness == 1 && opts.tombstones == nullptr) {
+      MsTerm* solo = nullptr;
+      for (size_t i = 0; i < m; ++i) {
+        if (!states[i].demoted) solo = &states[i];
+      }
+      MsTerm& ts = *solo;
+      // Drain whatever the buffered multi-stream phase left behind with
+      // one select pass; streaming takes over on the next iteration.
+      const uint32_t batch = ts.vlen - ts.voff;
+      if (batch > 0) {
+        const int32_t* bd = ts.docids.data() + ts.voff;
+        const float* bs = ts.scores.data() + ts.voff;
+        candidates += batch;
+        const float cut = theta - ness_bound;
+        const uint32_t n_cand =
+            vec::SelectGeFloatVal(batch, cand_sel.data(), bs, cut);
+        ++ctx.stats.primitive_calls;
+        for (uint32_t j = 0; j < n_cand; ++j) {
+          complete_and_push(bd[cand_sel[j]], bs[cand_sel[j]], ness,
+                            ness_bound);
+        }
+        ts.voff = ts.vlen = 0;
+        ts.vec_start = ts.stream.position();
+        if (shared != nullptr) shared->RaiseTo(topk.threshold());
+        continue;
+      }
+      if (ts.stream.AtEnd()) break;
+      // Window-at-a-time streaming, one candidate vector's worth per outer
+      // iteration (keeps the deadline / re-partition granularity).
+      compress::SortedRangeCursor& cur = ts.stream.range_cursor();
+      uint32_t consumed = 0;
+      while (consumed < vsize && !ts.stream.AtEnd()) {
+        const uint32_t w = cur.CurrentWindowIndex();
+        if (use_blockmax) {
+          const BlockMaxEntry& bm = blockmax[w];
+          const float wb =
+              Bm25One(ts.idf, static_cast<float>(bm.max_tf),
+                      static_cast<float>(bm.min_doclen), k1, bb, inv_avgdl);
+          if (ts.other_bound + wb < live_theta()) {
+            cur.SkipCurrentWindowBlockMax();
+            continue;
+          }
+        }
+        const compress::SortedRangeCursor::RunView rv = cur.CurrentRunView();
+        const uint32_t cnt = rv.hi - rv.lo;
+        const int32_t* vd = rv.vals + rv.lo;
+        const float* ws = nullptr;
+        bool fused_ok = false;
+        if (can_fuse) {
+          const compress::WindowView view =
+              tf_dec->WindowViewOf(rv.win_index);
+          GatherI32(doclens, rv.vals, rv.win_len, sdl);
+          fused_ok = FusedScoreTfWindow(view, sdl, ts.idf * (k1 + 1.0f),
+                                        k1 * (1.0f - bb),
+                                        k1 * bb * inv_avgdl, sscore);
+          if (fused_ok) {
+            ws = sscore + rv.lo;
+            ++ctx.stats.fused_windows;
+            ++ctx.stats.primitive_calls;
+          }
+        }
+        if (!fused_ok) {
+          for (uint32_t i = 0; i < cnt; ++i) {
+            const uint32_t slot = rv.lo + i;
+            stf[i] = ts.tf_reader.TfAt(rv.win_base + slot);
+            sdl[i] = doclens[rv.vals[slot]];
+          }
+          MapBm25(cnt, sscore, stf, sdl, ts.idf, k1, bb, inv_avgdl);
+          ++ctx.stats.primitive_calls;
+          ws = sscore;
+        }
+        candidates += cnt;
+        const float cut = live_theta() - ness_bound;
+        const uint32_t n_cand = vec::SelectGeFloatVal(cnt, wsel, ws, cut);
+        ++ctx.stats.primitive_calls;
+        for (uint32_t j = 0; j < n_cand; ++j) {
+          complete_and_push(vd[wsel[j]], ws[wsel[j]], ness, ness_bound);
+        }
+        cur.AdvanceTo(rv.win_base + rv.hi);
+        consumed += cnt;
+      }
+      ts.vec_start = ts.stream.position();
+      if (shared != nullptr) shared->RaiseTo(topk.threshold());
+      continue;
+    }
+
+    // Merge one vector of candidates from the essential streams. The
+    // active set (essential, non-empty) is gathered once per vector —
+    // streams leave it only by running dry, so the per-doc loops never
+    // re-test demotion or emptiness across the whole states array. The
+    // threshold filter (partial + ness_bound >= θ, i.e. partial >= θ −
+    // ness_bound; −inf until the heap fills) is fused into the merge, and
+    // survivors complete and push immediately — θ therefore rises *within*
+    // the vector and the cached cut is refreshed after every push attempt,
+    // so later docs in the same vector face the freshest threshold.
+    float cut = theta - ness_bound;
+    uint32_t seen = 0;
+    MsTerm* act[16];
+    MsTerm** act_heap = nullptr;
+    std::vector<MsTerm*> act_big;
+    MsTerm** ap = act;
+    size_t na = 0;
+    if (m > 16) {
+      act_big.resize(m);
+      act_heap = act_big.data();
+      ap = act_heap;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      MsTerm& ts = states[i];
+      if (!ts.demoted && ts.voff < ts.vlen) ap[na++] = &ts;
+    }
+    while (seen < vsize && na == 2) {
+      // Two-pointer union — the workhorse shape (2-term queries, and
+      // 3-term queries after one demotion). On a union merge the docid
+      // comparison is a coin flip, so the advance is computed branch-free
+      // (conditional moves). Both cursors are hoisted into locals for the
+      // inner loop: nothing in the loop body touches the MsTerm objects
+      // (probes and the heap live elsewhere), so the compiler keeps the
+      // six hot values in registers instead of re-deriving them through
+      // the state array every posting.
+      MsTerm& a = *ap[0];
+      MsTerm& b = *ap[1];
+      const int32_t* ad = a.docids.data();
+      const float* as = a.scores.data();
+      const int32_t* bd = b.docids.data();
+      const float* bs = b.scores.data();
+      uint32_t ai = a.voff;
+      const uint32_t an = a.vlen;
+      uint32_t bi = b.voff;
+      const uint32_t bn = b.vlen;
+      while (seen < vsize && ai < an && bi < bn) {
+        const int32_t da = ad[ai];
+        const int32_t db = bd[bi];
+        const float sa = as[ai];
+        const float sb = bs[bi];
+        const int32_t d = da < db ? da : db;
+        const float partial = (da == d ? sa : 0.0f) + (db == d ? sb : 0.0f);
+        ai += (da == d);
+        bi += (db == d);
+        if (TombstoneTest(opts.tombstones, d)) continue;
+        ++seen;
+        if (partial >= cut) {
+          if (complete_and_push(d, partial, ness, ness_bound)) {
+            cut = live_theta() - ness_bound;
+          }
         }
       }
-      if (!any) break;
+      a.voff = ai;
+      b.voff = bi;
+      if (ai >= an) refill(a);
+      if (bi >= bn) refill(b);
+      if (ap[1]->voff >= ap[1]->vlen) --na;
+      if (ap[0]->voff >= ap[0]->vlen) {
+        ap[0] = ap[na - 1];
+        --na;
+      }
+    }
+    // The find-min scan reads a local head array (maintained on every
+    // advance) instead of chasing three dependent loads per stream through
+    // the active-set pointers.
+    int32_t heads[16];
+    std::vector<int32_t> heads_big;
+    int32_t* hp = heads;
+    if (m > 16) {
+      heads_big.resize(m);
+      hp = heads_big.data();
+    }
+    for (size_t i = 0; i < na; ++i) hp[i] = ap[i]->docids[ap[i]->voff];
+    while (seen < vsize && na > 0) {
+      int32_t d = hp[0];
+      for (size_t i = 1; i < na; ++i) {
+        if (hp[i] < d) d = hp[i];
+      }
       float partial = 0.0f;
-      for (MsTerm& ts : states) {
-        if (ts.demoted || ts.voff >= ts.vlen || ts.docids[ts.voff] != d) {
-          continue;
-        }
+      for (size_t i = 0; i < na; ++i) {
+        if (hp[i] != d) continue;
+        MsTerm& ts = *ap[i];
         partial += ts.scores[ts.voff];
-        if (++ts.voff == ts.vlen) refill(ts);
+        if (++ts.voff == ts.vlen) {
+          refill(ts);
+          if (ts.voff >= ts.vlen) {  // stream dry: drop from the active set
+            ap[i] = ap[na - 1];
+            hp[i] = hp[na - 1];
+            --na;
+            --i;
+            continue;
+          }
+        }
+        hp[i] = ts.docids[ts.voff];
       }
       // Segmented read with deletes: the streams still advance past a dead
       // doc (posting consumption is positional) but it is never a
       // candidate — not scored, not probed, not counted.
       if (TombstoneTest(opts.tombstones, d)) continue;
-      cand_d[fill] = d;
-      cand_s[fill] = partial;
-      ++fill;
-    }
-    if (fill == 0) break;  // essential streams exhausted
-    candidates += fill;
-
-    // Branch-free threshold select: partial + ness_bound >= θ, i.e.
-    // partial >= θ - ness_bound (−inf until the heap fills: keep all).
-    const float cut = theta - ness_bound;
-    const uint32_t n_cand = vec::SelectColVal<vec::GeCmp, float>(
-        fill, nullptr, 0, cand_sel.data(), cand_s.data(), cut);
-    ++ctx.stats.primitive_calls;
-
-    for (uint32_t j = 0; j < n_cand; ++j) {
-      const uint32_t i = cand_sel[j];
-      const int32_t d = cand_d[i];
-      float s = cand_s[i];
-      // Complete the score from the demoted lists, strongest first, with
-      // the live threshold: each probe either adds the term's real
-      // contribution or retires its ub from the remaining headroom.
-      float remaining = ness_bound;
-      bool viable = true;
-      for (size_t p = ness; p-- > 0;) {
-        const float live = live_theta();
-        if (s + remaining < live) {
-          viable = false;
-          break;
-        }
-        MsTerm& nt = states[order[p]];
-        remaining -= nt.ub;
-        if (nt.probe.SkipTo(d) && nt.probe.value() == d) {
-          const float tf = static_cast<float>(
-              nt.tf_reader.TfAt(nt.probe.position()));
-          s += Bm25One(nt.idf, tf, static_cast<float>(doclens[d]), k1, bb,
-                       inv_avgdl);
-          ++ctx.stats.docs_probed;
+      ++seen;
+      if (partial >= cut) {
+        if (complete_and_push(d, partial, ness, ness_bound)) {
+          cut = live_theta() - ness_bound;
         }
       }
-      if (viable) topk.Push(d, s);
     }
+    if (seen == 0) break;  // essential streams exhausted
+    candidates += seen;
     // Publish once per candidate vector, not per push: the channel is a
     // bound, not a log, and the heap's threshold after the batch is the
     // tightest value this shard can prove.

@@ -98,6 +98,18 @@ struct SearchOptions {
   // essential/non-essential partition, probe completion), vs score-all
   // union.
   bool maxscore_bm25 = true;
+  // Block-Max refinement of MaxScore (DESIGN.md §12): before decoding a
+  // 128-posting window of an essential term, test the window's stored
+  // (max_tf, min_doclen) score bound against the live threshold and skip
+  // the decode outright when it cannot beat θ. Off = PR 8's term-level
+  // bounds only — the agreement oracle (skips never change the top-k,
+  // only num_matches and the window counters).
+  bool blockmax = true;
+  // Score essential-term tf windows with the fused decode→score kernel
+  // (fused_score.h) instead of decode-then-MapBm25. Bit-identical by
+  // contract; off = the composed two-step path, kept as the agreement
+  // oracle.
+  bool fused_score = true;
 
   // Storage runs: document-frequency cutoff separating pass 1's short
   // ("selective") lists from the long lists that are only probed. 0 picks

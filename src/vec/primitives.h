@@ -210,6 +210,12 @@ X100IR_NOINLINE uint32_t SelectColVal(uint32_t n, const sel_t* sel,
   return k;
 }
 
+// Dispatched dense float >= select (simd_select.cc): output-identical to
+// SelectColVal<GeCmp, float>(n, nullptr, 0, res, a, val), but resolved to
+// an AVX2 compare/movemask kernel when the host (and the SIMD toggle)
+// allow it. The ranked hot path's threshold filter calls this.
+uint32_t SelectGeFloatVal(uint32_t n, sel_t* res, const float* a, float val);
+
 template <typename Cmp, typename T>
 X100IR_NOINLINE uint32_t SelectColCol(uint32_t n, const sel_t* sel,
                                       uint32_t sel_count, sel_t* res,

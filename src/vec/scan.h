@@ -28,8 +28,17 @@ struct ExecStats {
   uint64_t windows_decoded = 0;
   // Windows a SkipTo jumped over without decoding (block skipping).
   uint64_t windows_skipped = 0;
+  // Windows rejected by a Block-Max score bound without decoding (the
+  // per-window BM25 upper bound could not beat θ). With windows_decoded
+  // and windows_skipped this partitions a cursor's candidate windows
+  // exactly (SkipStats invariant, DESIGN.md §12.4).
+  uint64_t windows_blockmax_skipped = 0;
   // tf windows decoded for scoring/probes (separate column, separate cost).
   uint64_t tf_windows_decoded = 0;
+  // tf windows scored by the fused decode→score kernel (never materialized
+  // as an int32 vector; counted against tf_windows_decoded's two-step
+  // path).
+  uint64_t fused_windows = 0;
   // Vectorized kernel invocations (map/select/fused-score primitives).
   uint64_t primitive_calls = 0;
   // Whole term vectors never decoded/scored because the term fell below
@@ -41,7 +50,9 @@ struct ExecStats {
   ExecStats& operator+=(const ExecStats& o) {
     windows_decoded += o.windows_decoded;
     windows_skipped += o.windows_skipped;
+    windows_blockmax_skipped += o.windows_blockmax_skipped;
     tf_windows_decoded += o.tf_windows_decoded;
+    fused_windows += o.fused_windows;
     primitive_calls += o.primitive_calls;
     vectors_pruned += o.vectors_pruned;
     docs_probed += o.docs_probed;

@@ -1,0 +1,55 @@
+// AVX2 kernel behind SelectGeFloatVal (primitives.h): the dense top-k
+// threshold filter is the one select left on the ranked hot path, and
+// after the heap fills almost every 8-lane group has no survivor — one
+// compare + movemask retires the whole group, and the bit-walk only runs
+// on the rare groups that still qualify. Output is identical to the
+// scalar SelectColVal<GeCmp, float> loop: same ordered >= comparison,
+// ascending absolute positions.
+#include "compress/unpack.h"
+#include "vec/primitives.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define X100IR_SELECT_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace x100ir::vec {
+namespace {
+
+#if defined(X100IR_SELECT_AVX2)
+__attribute__((target("avx2"))) uint32_t SelectGeAvx2(uint32_t n, sel_t* res,
+                                                      const float* a,
+                                                      float val) {
+  uint32_t k = 0;
+  const __m256 cut = _mm256_set1_ps(val);
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, cut, _CMP_GE_OQ)));
+    while (m != 0) {
+      res[k++] = i + static_cast<uint32_t>(__builtin_ctz(m));
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    res[k] = i;
+    k += static_cast<uint32_t>(a[i] >= val);
+  }
+  return k;
+}
+#endif
+
+}  // namespace
+
+uint32_t SelectGeFloatVal(uint32_t n, sel_t* res, const float* a, float val) {
+#if defined(X100IR_SELECT_AVX2)
+  if (compress::internal::ActiveSimdLevel() ==
+      compress::internal::SimdLevel::kAvx2) {
+    return SelectGeAvx2(n, res, a, val);
+  }
+#endif
+  return SelectColVal<GeCmp, float>(n, nullptr, 0, res, a, val);
+}
+
+}  // namespace x100ir::vec

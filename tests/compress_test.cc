@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compress/block_layout.h"
 #include "compress/codec.h"
 #include "compress/pdict.h"
 #include "compress/skip_cursor.h"
@@ -793,8 +794,11 @@ TEST(Codec, SimdUnpackBitExactSweep) {
   // kernels (including their scalar tails at awkward lengths) to the scalar
   // ground truth across schemes and exception rates.
   ScopedSimdToggle guard;
-  for (int b : {4, 8, 16}) {
+  for (int b : {1, 4, 7, 8, 13, 16, 26, 30}) {
     for (bool delta : {false, true}) {
+      // Delta exceptions are giant gaps; past b=16 their running sum would
+      // overflow int32 at these lengths, so wide widths sweep PFOR only.
+      if (delta && b > 16) continue;
       for (uint32_t n : {1u, 127u, 128u, 129u, 1023u, 4096u}) {
         for (double rate : {0.0, 0.05, 0.5}) {
           std::vector<int32_t> values;
@@ -854,26 +858,91 @@ TEST(Codec, SimdUnpackBitExactSweep) {
   }
 }
 
+TEST(Codec, Avx2UnpackAllWidthsBitExact) {
+  // Direct kernel-level sweep: every width 1..kMaxBitWidth against the
+  // scalar oracle on raw random bitstreams, at lengths chosen to hit zero
+  // full groups, exact group boundaries, and partial tails (the SIMD
+  // kernels' scalar resume). On hosts without AVX2 the dispatcher returns
+  // the shuffle-table or scalar kernel and the sweep still pins agreement.
+  ScopedSimdToggle guard;
+  internal::SetSimdUnpackEnabled(true);
+  Rng rng(0xA7C2);
+  for (int b = 1; b <= kMaxBitWidth; ++b) {
+    for (uint32_t n :
+         {1u, 7u, 8u, 9u, 15u, 63u, 127u, 128u, 129u, 1024u, 1031u}) {
+      // Codeword bytes plus the kBlockPadBytes slack every decode path
+      // guarantees past the last codeword.
+      std::vector<uint8_t> src((static_cast<uint64_t>(n) * b + 7) / 8 +
+                               internal::kBlockPadBytes);
+      for (auto& byte : src) {
+        byte = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+      const int32_t base =
+          static_cast<int32_t>(rng.NextBounded(1u << 20)) - 17;
+      std::vector<int32_t> got(n, -1), want(n, -2);
+      internal::GetUnpackAdd(b)(src.data(), n, base, got.data());
+      internal::ScalarUnpackAdd(b)(src.data(), n, base, want.data());
+      ASSERT_EQ(got, want) << "b=" << b << " n=" << n;
+    }
+  }
+}
+
+TEST(Codec, PatchKernelBitExact) {
+  // LOOP2 kernel agreement: unique positions (the block invariant) make
+  // store order irrelevant, so the SIMD deinterleave must land the exact
+  // same bytes as the scalar record loop, including the sub-quad tail.
+  ScopedSimdToggle guard;
+  internal::SetSimdUnpackEnabled(true);
+  Rng rng(0x9E37);
+  const uint32_t out_base = 256;
+  const uint32_t window = 512;
+  for (uint32_t count : {0u, 1u, 3u, 4u, 5u, 8u, 127u}) {
+    std::vector<internal::ExceptionRecord> recs(count);
+    std::vector<uint32_t> pos(window);
+    for (uint32_t i = 0; i < window; ++i) pos[i] = out_base + i;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::swap(pos[i],
+                pos[i + static_cast<uint32_t>(rng.NextBounded(window - i))]);
+      recs[i].pos = pos[i];
+      recs[i].value = static_cast<int32_t>(rng.NextBounded(1u << 30)) - 5;
+    }
+    std::vector<int32_t> got(window, 0), want(window, 0);
+    internal::GetPatch()(reinterpret_cast<const uint8_t*>(recs.data()), count,
+                         out_base, got.data());
+    internal::ScalarPatch()(reinterpret_cast<const uint8_t*>(recs.data()),
+                            count, out_base, want.data());
+    ASSERT_EQ(got, want) << count;
+  }
+}
+
 TEST(Codec, SimdDispatchReportsConsistently) {
   ScopedSimdToggle guard;
   internal::SetSimdUnpackEnabled(true);
-  const bool host_has_simd =
-      internal::ActiveSimdLevel() != internal::SimdLevel::kScalar;
+  const internal::SimdLevel level = internal::ActiveSimdLevel();
+  const bool host_has_simd = level != internal::SimdLevel::kScalar;
   for (int b : {4, 8, 16}) {
     EXPECT_EQ(internal::SimdUnpackAvailable(b), host_has_simd) << b;
     EXPECT_EQ(internal::GetUnpackAdd(b) != internal::ScalarUnpackAdd(b),
               host_has_simd)
         << b;
   }
-  // Non-shuffle widths always resolve scalar.
-  for (int b : {1, 7, 15, 30}) {
-    EXPECT_FALSE(internal::SimdUnpackAvailable(b)) << b;
-    EXPECT_EQ(internal::GetUnpackAdd(b), internal::ScalarUnpackAdd(b)) << b;
+  // The generic AVX2 kernels cover every width; the shuffle-table SSSE3 /
+  // NEON kernels only the byte-friendly ones, so other widths fall back to
+  // the scalar table there.
+  const bool all_widths = level == internal::SimdLevel::kAvx2;
+  for (int b : {1, 7, 15, 26, 30}) {
+    EXPECT_EQ(internal::SimdUnpackAvailable(b), all_widths) << b;
+    EXPECT_EQ(internal::GetUnpackAdd(b) != internal::ScalarUnpackAdd(b),
+              all_widths)
+        << b;
   }
+  // The LOOP2 patch kernel dispatches the same way.
+  EXPECT_EQ(internal::GetPatch() != internal::ScalarPatch(), all_widths);
   internal::SetSimdUnpackEnabled(false);
   EXPECT_EQ(internal::ActiveSimdLevel(), internal::SimdLevel::kScalar);
   EXPECT_FALSE(internal::SimdUnpackAvailable(8));
   EXPECT_EQ(internal::GetUnpackAdd(8), internal::ScalarUnpackAdd(8));
+  EXPECT_EQ(internal::GetPatch(), internal::ScalarPatch());
 }
 
 // ---------------------------------------------------------------------------
@@ -1016,6 +1085,67 @@ TEST(SkipCursor, SkipsWindowsWithoutDecodingThem) {
   EXPECT_EQ(cur.stats().windows_decoded, 3u);
   EXPECT_GT(cur.stats().windows_skipped, 90u);
   EXPECT_EQ(cur.stats().skip_calls, 3u);
+}
+
+TEST(Codec, SkipStatsPartitionExact) {
+  // Counter-drift audit (DESIGN.md §12.4): randomly mixed driving — value
+  // skips (SkipTo, including the probe-past-everything exhaust path),
+  // Block-Max window rejects, and bulk run decodes — over hostile sub-range
+  // boundaries. At exhaustion, windows_decoded + windows_skipped +
+  // windows_blockmax_skipped must equal the number of 128-value windows
+  // overlapping [begin, end) exactly. No single counter is monotone in how
+  // aggressively the driver skips; only the partition is invariant.
+  const auto values = MakeSorted(5 * 128 + 57, 0xBEEF, 40);
+  const uint32_t n = static_cast<uint32_t>(values.size());
+  EncodeOptions opts;
+  opts.force_base = true;
+  std::vector<uint8_t> block;
+  ASSERT_TRUE(PforDeltaEncode(values.data(), n, opts, &block, nullptr).ok());
+  BlockDecoder dec;
+  ASSERT_TRUE(dec.Init(block.data(), block.size()).ok());
+  const uint32_t ranges[][2] = {{0, n},         {1, n - 1}, {127, 129},
+                                {128, 256},     {130, 131}, {3, 128 * 4 + 1},
+                                {128 * 2, n}};
+  Rng rng(0x5EED);
+  for (const auto& range : ranges) {
+    const uint32_t begin = range[0], end = range[1];
+    for (int rep = 0; rep < 16; ++rep) {
+      SortedRangeCursor cur;
+      ASSERT_TRUE(cur.Init(&dec, begin, end).ok());
+      int32_t probe = values[begin];
+      while (!cur.AtEnd()) {
+        switch (rng.NextBounded(3)) {
+          case 0:
+            cur.SkipCurrentWindowBlockMax();
+            break;
+          case 1: {
+            const auto rv = cur.CurrentRunView();
+            ASSERT_LT(rv.lo, rv.hi);
+            probe = std::max(probe, rv.vals[rv.hi - 1]);
+            cur.AdvanceTo(rv.win_base + rv.hi);
+            break;
+          }
+          default: {
+            probe += static_cast<int32_t>(rng.NextBounded(200));
+            if (cur.SkipTo(probe)) {
+              probe = std::max(probe, cur.value());
+              cur.Next();
+            }
+            break;
+          }
+        }
+      }
+      const auto& st = cur.stats();
+      const uint64_t overlapped = (end - 1) / 128 - begin / 128 + 1;
+      ASSERT_EQ(st.windows_decoded + st.windows_skipped +
+                    st.windows_blockmax_skipped,
+                overlapped)
+          << "range [" << begin << "," << end << ") rep " << rep
+          << " decoded=" << st.windows_decoded
+          << " skipped=" << st.windows_skipped
+          << " blockmax=" << st.windows_blockmax_skipped;
+    }
+  }
 }
 
 TEST(SkipCursor, InitRejectsBadRangesAndSchemes) {

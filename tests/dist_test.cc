@@ -386,6 +386,7 @@ TEST(SharedThetaTest, SequentialSeedingPrunesStrictlyMoreCandidates) {
   const std::vector<Query> queries = TestQueries();
   uint64_t cand_indep = 0, cand_shared = 0;
   uint64_t pruned_indep = 0, pruned_shared = 0;
+  uint64_t bmx_indep = 0, bmx_shared = 0;
   for (const Query& q : queries) {
     DistSearchOptions dopts;
     dopts.sequential = true;
@@ -406,6 +407,8 @@ TEST(SharedThetaTest, SequentialSeedingPrunesStrictlyMoreCandidates) {
     cand_shared += shared.merged.num_matches;
     pruned_indep += indep.merged.stats.vectors_pruned;
     pruned_shared += shared.merged.stats.vectors_pruned;
+    bmx_indep += indep.merged.stats.windows_blockmax_skipped;
+    bmx_shared += shared.merged.stats.windows_blockmax_skipped;
   }
   // ...strictly fewer candidates across the batch, and at least as many
   // posting vectors skipped outright. (windows_decoded is deliberately
@@ -414,6 +417,12 @@ TEST(SharedThetaTest, SequentialSeedingPrunesStrictlyMoreCandidates) {
   // the candidate count is the per-document scoring work and is.)
   EXPECT_LT(cand_shared, cand_indep);
   EXPECT_GE(pruned_shared, pruned_indep);
+  // The same θ floor feeds SearchBm25MaxScore's per-window block-max test
+  // (DESIGN.md §12): a shard seeded with the global k-th-best rejects weak
+  // windows from its very first refill, so across the batch sharing never
+  // block-max-skips less. (Per query the counter can wobble — earlier
+  // demotion also truncates essential streams — hence batch-level only.)
+  EXPECT_GE(bmx_shared, bmx_indep);
 }
 
 // ---------------------------------------------------------------------------

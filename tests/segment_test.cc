@@ -658,5 +658,89 @@ TEST(SegmentTest, SoakMixedOpsHoldOracleInvariant) {
   ExpectMatchesOracle(db, oracle, queries);
 }
 
+// ---------------------------------------------------------------------------
+// Block-max metadata on segment paths (DESIGN.md §12.1)
+// ---------------------------------------------------------------------------
+
+// Same soundness property ir_test pins on the monolithic builder, applied
+// to a segment's index: every persisted window bound dominates every
+// posting's true idf-free contribution. Tombstones never touch the
+// postings themselves — deletes only shrink a window's *true* maxima — so
+// the stored bounds must hold regardless of the deletes layered on top.
+void CheckSegmentBlockMaxSound(const InvertedIndex& index) {
+  std::vector<int32_t> docid_col, tf_col;
+  for (uint32_t t = 0; t < index.vocab_size(); ++t) {
+    std::vector<int32_t> d, f;
+    ASSERT_TRUE(index.DecodePostings(t, &d, &f).ok());
+    docid_col.insert(docid_col.end(), d.begin(), d.end());
+    tf_col.insert(tf_col.end(), f.begin(), f.end());
+  }
+  const uint64_t n = index.num_postings();
+  ASSERT_EQ(docid_col.size(), n);
+  const std::vector<BlockMaxEntry>& bm = index.block_max();
+  ASSERT_EQ(bm.size(), (n + 127) / 128);
+  const float inv_avgdl = static_cast<float>(1.0 / index.avg_doc_len());
+  for (uint64_t p = 0; p < n; ++p) {
+    const BlockMaxEntry& e = bm[p / 128];
+    const int32_t dl = index.doc_lens()[docid_col[p]];
+    ASSERT_GE(e.max_tf, tf_col[p]) << "posting " << p;
+    ASSERT_LE(e.min_doclen, dl) << "posting " << p;
+    ASSERT_GE(e.ub, Bm25One(1.0f, static_cast<float>(tf_col[p]),
+                            static_cast<float>(dl),
+                            InvertedIndex::kMaterializedK1,
+                            InvertedIndex::kMaterializedB, inv_avgdl))
+        << "posting " << p;
+  }
+}
+
+TEST(SegmentTest, BlockMaxStaysSoundAcrossSealMergeAndDeletes) {
+  const std::string dir = FreshDir("blockmax");
+  core::DatabaseOptions dopts;
+  dopts.corpus = TinyGenerated();
+  dopts.dir = dir;
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+
+  // Base + sealed delta: adds (odd doc lengths so windows land on hostile
+  // offsets), deletes, then a merge that purges tombstones and re-encodes.
+  Rng rng(47);
+  for (int i = 0; i < 131; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, 600);
+    int32_t docid = -1;
+    ASSERT_TRUE(db.AddDocument(terms, &docid).ok());
+  }
+  for (int32_t d = 0; d < 40; d += 3) {
+    ASSERT_TRUE(db.DeleteDocument(d).ok());
+  }
+  ASSERT_TRUE(db.Merge().ok());
+  for (int i = 0; i < 67; ++i) {
+    const std::vector<uint32_t> terms = RandomDoc(&rng, 600);
+    int32_t docid = -1;
+    ASSERT_TRUE(db.AddDocument(terms, &docid).ok());
+  }
+  ASSERT_TRUE(db.DeleteDocument(200).ok());
+  ASSERT_TRUE(db.Merge().ok());
+
+  // Every segment of the committed view — the merged segment included —
+  // carries a sound block-max table.
+  auto snap = db.Acquire();
+  ASSERT_FALSE(snap->segments.empty());
+  for (const Snapshot::SegmentRead& read : snap->segments) {
+    CheckSegmentBlockMaxSound(read.seg->index());
+  }
+
+  // And a manifest reopen reloads the tables (LoadFromDir path) intact.
+  {
+    core::Database reopened;
+    ASSERT_TRUE(reopened.Open(dopts).ok());
+    auto snap2 = reopened.Acquire();
+    ASSERT_FALSE(snap2->segments.empty());
+    for (const Snapshot::SegmentRead& read : snap2->segments) {
+      CheckSegmentBlockMaxSound(read.seg->index());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace x100ir::ir
