@@ -98,6 +98,11 @@ class Database {
   storage::BufferStats buffer_stats() const {
     return has_storage() ? manager_->pool()->stats() : storage::BufferStats{};
   }
+  // Write-path durability counters (DESIGN.md §13). All-zero when the WAL
+  // is off or the database is in-memory.
+  storage::WalStats wal_stats() const {
+    return manager_ != nullptr ? manager_->wal_stats() : storage::WalStats{};
+  }
   const storage::SimulatedDisk* disk() const {
     return manager_ != nullptr ? manager_->disk() : nullptr;
   }

@@ -59,8 +59,11 @@ class DeltaSegment {
     return static_cast<uint32_t>(doc_lens_.size());
   }
 
-  // Flips the buffer read-only; Add fails afterwards. Called once, by the
-  // merge that adopts this delta as input.
+  // Flips the buffer read-only; Add fails afterwards. Called by the merge
+  // that adopts this delta as input, and again by WAL replay when a
+  // DeltaSealed record re-seals a recovered delta. Idempotent: sealing a
+  // sealed delta changes nothing (the double-recovery property test leans
+  // on this — replaying the same log twice must not diverge).
   void Seal() {
     std::unique_lock<std::shared_mutex> lock(mu_);
     sealed_ = true;

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "ir/index_meta.h"
+#include "storage/crash_point.h"
 
 namespace x100ir::ir {
 namespace {
@@ -79,6 +80,9 @@ Status Segment::Build(std::vector<std::vector<DocTerm>> docs,
   if (docs.size() != global_docids.size()) {
     return InvalidArgument("segment build: docs / docid map size mismatch");
   }
+  // A simulated crash freezes the disk: the background merge must not keep
+  // materializing column files after the power cut.
+  if (storage::CrashedNow()) return IOError("simulated crash");
   for (size_t i = 1; i < global_docids.size(); ++i) {
     if (global_docids[i] <= global_docids[i - 1]) {
       return InvalidArgument(
@@ -168,6 +172,9 @@ Segment::~Segment() {
   // the pool dangling), then the files themselves can go.
   index_.DetachSharedStorage();
   if (!retire_.load(std::memory_order_acquire) || dir_.empty()) return;
+  // After a simulated crash nothing touches disk — not even retirement.
+  // Leftover files of never-committed segments are swept on the next Open.
+  if (storage::CrashedNow()) return;
   std::error_code ec;
   if (base_layout_) {
     // The base segment shares the database root with the manifest — delete

@@ -7,6 +7,8 @@
 
 #include "common/string_util.h"
 #include "ir/index_meta.h"
+#include "storage/crash_point.h"
+#include "storage/wal.h"
 
 namespace x100ir::ir {
 namespace {
@@ -50,6 +52,32 @@ void RemoveSegmentedState(const std::string& root) {
   }
 }
 
+// Sweeps seg_* directories the adopted manifest does not reference, plus a
+// stranded MANIFEST.tmp — the debris a crash between segment build and
+// manifest commit (or between commit and retirement) leaves behind. Safe
+// because every committed segment is listed in the manifest by definition,
+// and seg-id reuse after a crashed merge overwrites rather than trips.
+void SweepUnreferencedSegments(const std::string& root,
+                               const std::vector<uint32_t>& live_ids) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::remove(root + "/" + kManifestTmpFile, ec);
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_directory(ec) || name.rfind("seg_", 0) != 0) continue;
+    uint32_t id = 0;
+    bool numeric = name.size() > 4;
+    for (size_t i = 4; numeric && i < name.size(); ++i) {
+      numeric = name[i] >= '0' && name[i] <= '9';
+      if (numeric) id = id * 10 + static_cast<uint32_t>(name[i] - '0');
+    }
+    if (!numeric) continue;
+    if (std::find(live_ids.begin(), live_ids.end(), id) == live_ids.end()) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+}
+
 }  // namespace
 
 SnapshotManager::~SnapshotManager() {
@@ -84,12 +112,27 @@ Status SnapshotManager::Open(const Corpus* corpus, const std::string& dir,
   std::lock_guard<std::mutex> lock(mu_);
   Status adopted = dir_.empty() ? NotFound("in-memory database")
                                 : TryLoadManifest(stats);
-  if (!adopted.ok()) {
+  if (adopted.ok()) {
+    // Clear the debris of crashed merges: built-but-uncommitted segment
+    // dirs and a stranded MANIFEST.tmp.
+    std::vector<uint32_t> live_ids;
+    for (const Snapshot::SegmentRead& sr : segments_) {
+      live_ids.push_back(sr.seg->seg_id());
+    }
+    SweepUnreferencedSegments(dir_, live_ids);
+  } else {
     // No manifest (fresh/legacy directory) or an unusable one (torn swap,
     // corpus mismatch, torn segment): clean rebuild from the corpus. The
     // corpus is generative, so this loses nothing that was ever merged
     // under a *valid* manifest — only state the torn write already lost.
-    if (!dir_.empty()) RemoveSegmentedState(dir_);
+    // An *unusable* (vs merely absent) manifest also invalidates the WAL:
+    // its records were framed against state the rebuild does not restore.
+    if (!dir_.empty()) {
+      RemoveSegmentedState(dir_);
+      if (adopted.code() != StatusCode::kNotFound) {
+        storage::Wal::RemoveFiles(dir_);
+      }
+    }
     segments_.clear();
     std::unique_ptr<Segment> base;
     X100IR_RETURN_IF_ERROR(
@@ -114,8 +157,87 @@ Status SnapshotManager::Open(const Corpus* corpus, const std::string& dir,
   delta_ = std::make_shared<DeltaSegment>(corpus_->vocab_size(), next_docid_);
   delta_tombs_.reset();
   merge_deletes_.clear();
+  if (!dir_.empty() && storage.wal.enabled) {
+    wal_ = std::make_unique<storage::Wal>();
+    X100IR_RETURN_IF_ERROR(
+        wal_->Open(dir_, corpus_->Fingerprint(), storage.wal));
+    X100IR_RETURN_IF_ERROR(ReplayWalLocked());
+  }
   PublishLocked();
   return OkStatus();
+}
+
+Status SnapshotManager::ReplayWalLocked() {
+  return wal_->Replay([this](const storage::WalRecordView& rec) -> Status {
+    switch (rec.type) {
+      case storage::WalRecordType::kAddDocument: {
+        storage::Wal::AddPayload p;
+        if (!storage::Wal::DecodeAdd(rec, &p)) {
+          return OutOfRange("undecodable add record");
+        }
+        // Below the current high-water mark = already applied (committed
+        // segment of a stale file a crash kept past its merge, or a record
+        // seen once already in a double recovery): idempotent skip.
+        if (p.docid < next_docid_) return OkStatus();
+        if (p.docid > next_docid_) {
+          return OutOfRange("docid gap in wal — truncating here");
+        }
+        std::vector<DocTerm> doc;
+        int32_t len = 0;
+        uint32_t prev_term = 0;
+        for (const auto& [term, tf] : p.terms) {
+          if (term >= corpus_->vocab_size() || tf <= 0 ||
+              (!doc.empty() && term <= prev_term)) {
+            return OutOfRange("malformed add payload");
+          }
+          doc.push_back({term, tf});
+          len += tf;
+          prev_term = term;
+        }
+        if (doc.empty()) return OutOfRange("empty add payload");
+        int32_t id = -1;
+        return ApplyAddLocked(std::move(doc), len, &id);
+      }
+      case storage::WalRecordType::kDeleteDocument: {
+        int32_t docid = -1;
+        if (!storage::Wal::DecodeDocid(rec, &docid)) {
+          return OutOfRange("undecodable delete record");
+        }
+        DeleteTarget target;
+        Status found = FindDeleteTargetLocked(docid, &target);
+        // Idempotent: the delete may already be durable via the manifest
+        // (it was journaled into a merge, or the doc merged away).
+        if (found.code() == StatusCode::kNotFound) return OkStatus();
+        X100IR_RETURN_IF_ERROR(found);
+        ApplyDeleteLocked(target, docid);
+        return OkStatus();
+      }
+      case storage::WalRecordType::kDeltaSealed: {
+        int32_t cutoff = -1;
+        if (!storage::Wal::DecodeDocid(rec, &cutoff)) {
+          return OutOfRange("undecodable seal record");
+        }
+        if (cutoff < next_docid_) return OkStatus();  // stale era
+        if (cutoff > next_docid_) {
+          return OutOfRange("seal cutoff beyond replayed docids");
+        }
+        if (delta_->num_docs() > 0) {
+          delta_->Seal();
+          sealed_.push_back(delta_);
+          sealed_tombs_.push_back(delta_tombs_);
+          delta_ = std::make_shared<DeltaSegment>(corpus_->vocab_size(),
+                                                  next_docid_);
+          delta_tombs_.reset();
+        }
+        return OkStatus();
+      }
+      case storage::WalRecordType::kMergeCommitted:
+        // Purely informational: the manifest rename is the commit, and the
+        // manifest was adopted before replay started.
+        return OkStatus();
+    }
+    return OutOfRange("unknown wal record type");
+  });
 }
 
 Status SnapshotManager::TryLoadManifest(BuildStats* stats) {
@@ -283,7 +405,41 @@ Status SnapshotManager::AddDocument(const std::vector<uint32_t>& terms,
     i = j;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  int32_t id = -1;
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<uint32_t, int32_t>> pairs;
+    if (wal_ != nullptr) {
+      pairs.reserve(doc.size());
+      for (const DocTerm& dt : doc) pairs.emplace_back(dt.term, dt.tf);
+    }
+    X100IR_RETURN_IF_ERROR(ApplyAddLocked(std::move(doc), len, &id));
+    if (wal_ != nullptr) {
+      // Logged under the same critical section that applied it, so the
+      // log's record order IS the apply order. A failed append leaves the
+      // document in memory but unacknowledged — the caller must assume it
+      // is lost on the next crash, which is exactly what the error says.
+      const std::vector<uint8_t> payload = storage::Wal::EncodeAdd(id, pairs);
+      Status appended =
+          wal_->Append(storage::WalRecordType::kAddDocument, payload.data(),
+                       static_cast<uint32_t>(payload.size()), &lsn);
+      if (!appended.ok()) {
+        PublishLocked();
+        return appended;
+      }
+    }
+    PublishLocked();
+  }
+  // The acknowledgment barrier: OK only after an fsync covers the record.
+  // Deliberately outside mu_ — this wait is where group commit batches.
+  if (wal_ != nullptr) X100IR_RETURN_IF_ERROR(wal_->Sync(lsn));
+  if (docid != nullptr) *docid = id;
+  return OkStatus();
+}
+
+Status SnapshotManager::ApplyAddLocked(std::vector<DocTerm> doc, int32_t len,
+                                       int32_t* docid) {
   // The active delta is only ever sealed while holding mu_ (StartMerge),
   // and sealing installs a fresh active delta in the same critical
   // section, so this Add cannot race a seal.
@@ -306,21 +462,15 @@ Status SnapshotManager::AddDocument(const std::vector<uint32_t>& terms,
   }
   ++next_docid_;
   ++epoch_;
-  PublishLocked();
-  if (docid != nullptr) *docid = id;
+  *docid = id;
   return OkStatus();
 }
 
-Status SnapshotManager::DeleteDocument(int32_t docid) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status SnapshotManager::FindDeleteTargetLocked(int32_t docid,
+                                               DeleteTarget* target) const {
   if (docid < 0 || docid >= next_docid_) {
     return NotFound(StrFormat("docid %d was never allocated", docid));
   }
-
-  const std::vector<DocTerm>* doc = nullptr;
-  int32_t len = 0;
-  bool persistent_owner = false;
-
   if (docid >= delta_->base_docid()) {
     const uint32_t local = static_cast<uint32_t>(docid - delta_->base_docid());
     if (local >= delta_->num_docs()) {
@@ -331,68 +481,117 @@ Status SnapshotManager::DeleteDocument(int32_t docid) {
     if (TombstoneTest(bits, static_cast<int32_t>(local))) {
       return NotFound(StrFormat("docid %d is already deleted", docid));
     }
-    delta_tombs_ = SetBitCow(delta_tombs_, local, delta_->num_docs());
-    doc = &delta_->doc(local);
-    len = delta_->doc_len(local);
-  } else {
-    for (size_t i = 0; doc == nullptr && i < sealed_.size(); ++i) {
-      DeltaSegment& sd = *sealed_[i];
-      if (docid < sd.base_docid() ||
-          docid >= sd.base_docid() + static_cast<int32_t>(sd.num_docs())) {
-        continue;
-      }
-      const uint32_t local = static_cast<uint32_t>(docid - sd.base_docid());
-      const uint64_t* bits =
-          sealed_tombs_[i] != nullptr ? sealed_tombs_[i]->data() : nullptr;
-      if (TombstoneTest(bits, static_cast<int32_t>(local))) {
-        return NotFound(StrFormat("docid %d is already deleted", docid));
-      }
-      sealed_tombs_[i] = SetBitCow(sealed_tombs_[i], local, sd.num_docs());
-      doc = &sd.doc(local);
-      len = sd.doc_len(local);
-    }
-    for (size_t i = 0; doc == nullptr && i < segments_.size(); ++i) {
-      Snapshot::SegmentRead& sr = segments_[i];
-      const int32_t local = sr.seg->LocalOf(docid);
-      if (local < 0) continue;
-      const uint64_t* bits =
-          sr.tombstones != nullptr ? sr.tombstones->data() : nullptr;
-      if (TombstoneTest(bits, local)) {
-        return NotFound(StrFormat("docid %d is already deleted", docid));
-      }
-      sr.tombstones = SetBitCow(sr.tombstones, static_cast<uint32_t>(local),
-                                sr.seg->num_docs());
-      doc = &sr.seg->doc(static_cast<uint32_t>(local));
-      len = sr.seg->doc_len(static_cast<uint32_t>(local));
-      persistent_owner = true;
-    }
+    target->kind = DeleteTarget::Kind::kActiveDelta;
+    target->local = local;
+    target->doc = &delta_->doc(local);
+    target->len = delta_->doc_len(local);
+    return OkStatus();
   }
-  if (doc == nullptr) {
-    // Allocated range but between structures: the doc was merged away and
-    // its segment replaced — only possible for an already-deleted doc
-    // (merges carry every live doc forward).
-    return NotFound(StrFormat("docid %d is already deleted", docid));
+  for (size_t i = 0; i < sealed_.size(); ++i) {
+    const DeltaSegment& sd = *sealed_[i];
+    if (docid < sd.base_docid() ||
+        docid >= sd.base_docid() + static_cast<int32_t>(sd.num_docs())) {
+      continue;
+    }
+    const uint32_t local = static_cast<uint32_t>(docid - sd.base_docid());
+    const uint64_t* bits =
+        sealed_tombs_[i] != nullptr ? sealed_tombs_[i]->data() : nullptr;
+    if (TombstoneTest(bits, static_cast<int32_t>(local))) {
+      return NotFound(StrFormat("docid %d is already deleted", docid));
+    }
+    target->kind = DeleteTarget::Kind::kSealedDelta;
+    target->index = i;
+    target->local = local;
+    target->doc = &sd.doc(local);
+    target->len = sd.doc_len(local);
+    return OkStatus();
   }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const Snapshot::SegmentRead& sr = segments_[i];
+    const int32_t local = sr.seg->LocalOf(docid);
+    if (local < 0) continue;
+    const uint64_t* bits =
+        sr.tombstones != nullptr ? sr.tombstones->data() : nullptr;
+    if (TombstoneTest(bits, local)) {
+      return NotFound(StrFormat("docid %d is already deleted", docid));
+    }
+    target->kind = DeleteTarget::Kind::kSegment;
+    target->index = i;
+    target->local = static_cast<uint32_t>(local);
+    target->doc = &sr.seg->doc(static_cast<uint32_t>(local));
+    target->len = sr.seg->doc_len(static_cast<uint32_t>(local));
+    return OkStatus();
+  }
+  // Allocated range but between structures: the doc was merged away and
+  // its segment replaced — only possible for an already-deleted doc
+  // (merges carry every live doc forward).
+  return NotFound(StrFormat("docid %d is already deleted", docid));
+}
 
+void SnapshotManager::ApplyDeleteLocked(const DeleteTarget& target,
+                                        int32_t docid) {
+  switch (target.kind) {
+    case DeleteTarget::Kind::kActiveDelta:
+      delta_tombs_ = SetBitCow(delta_tombs_, target.local,
+                               delta_->num_docs());
+      break;
+    case DeleteTarget::Kind::kSealedDelta:
+      sealed_tombs_[target.index] =
+          SetBitCow(sealed_tombs_[target.index], target.local,
+                    sealed_[target.index]->num_docs());
+      break;
+    case DeleteTarget::Kind::kSegment:
+      segments_[target.index].tombstones =
+          SetBitCow(segments_[target.index].tombstones, target.local,
+                    segments_[target.index].seg->num_docs());
+      break;
+  }
   --live_num_docs_;
-  live_total_len_ -= static_cast<uint64_t>(len);
-  for (const DocTerm& dt : *doc) --live_df_[dt.term];
+  live_total_len_ -= static_cast<uint64_t>(target.len);
+  for (const DocTerm& dt : *target.doc) --live_df_[dt.term];
   if (merge_running_ && docid < merge_cutoff_) {
     merge_deletes_.push_back(docid);
   }
   ++epoch_;
-  // Deletes of persisted documents are durable: re-write the manifest so a
-  // reopen does not resurrect the doc. (Delta documents are volatile by
-  // design, so their tombstones are too.) A manifest write failure leaves
-  // the in-memory delete applied and reports the error — the reopen then
-  // resurrects, it never loses.
-  Status persisted =
-      persistent_owner && !dir_.empty() ? WriteManifestLocked() : OkStatus();
-  PublishLocked();
-  return persisted;
 }
 
-Status SnapshotManager::WriteManifestLocked() {
+Status SnapshotManager::DeleteDocument(int32_t docid) {
+  uint64_t lsn = 0;
+  Status persisted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DeleteTarget target;
+    X100IR_RETURN_IF_ERROR(FindDeleteTargetLocked(docid, &target));
+    const bool persistent_owner =
+        target.kind == DeleteTarget::Kind::kSegment;
+    ApplyDeleteLocked(target, docid);
+    if (wal_ != nullptr) {
+      // The WAL is the durability story for every delete — including
+      // segment docs, whose tombstones replay onto the adopted manifest —
+      // so the per-delete manifest rewrite the volatile era needed is gone.
+      const std::vector<uint8_t> payload = storage::Wal::EncodeDocid(docid);
+      persisted =
+          wal_->Append(storage::WalRecordType::kDeleteDocument,
+                       payload.data(), static_cast<uint32_t>(payload.size()),
+                       &lsn);
+    } else if (persistent_owner && !dir_.empty()) {
+      // No WAL: deletes of persisted documents are made durable the old
+      // way, re-writing the manifest. A failure leaves the in-memory
+      // delete applied and reports the error — the reopen then
+      // resurrects, it never loses.
+      persisted = WriteManifestLocked();
+    }
+    PublishLocked();
+  }
+  if (!persisted.ok()) return persisted;
+  // Acknowledgment barrier, outside mu_ (same as AddDocument).
+  if (wal_ != nullptr) X100IR_RETURN_IF_ERROR(wal_->Sync(lsn));
+  return OkStatus();
+}
+
+Status SnapshotManager::WriteManifestLocked(bool* renamed) {
+  if (renamed != nullptr) *renamed = false;
+  if (storage::CrashedNow()) return IOError("simulated crash");
   const std::string tmp = dir_ + "/" + kManifestTmpFile;
   const std::string path = dir_ + "/" + kManifestFile;
   ManifestHeader hdr;
@@ -421,9 +620,16 @@ Status SnapshotManager::WriteManifestLocked() {
   }
   ok = std::fclose(f) == 0 && ok;
   if (!ok) return IOError("short write to " + tmp);
+  if (storage::CrashReached(storage::CrashSite::kManifestAfterTmpWrite)) {
+    return IOError("simulated crash");
+  }
   // The atomic commit point: the manifest appears complete or not at all.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return IOError("cannot swap manifest into place");
+  }
+  if (renamed != nullptr) *renamed = true;
+  if (storage::CrashReached(storage::CrashSite::kManifestAfterRename)) {
+    return IOError("simulated crash");
   }
   return OkStatus();
 }
@@ -433,12 +639,30 @@ bool SnapshotManager::merge_running() const {
   return merge_running_;
 }
 
+storage::WalStats SnapshotManager::wal_stats() const {
+  return wal_ != nullptr ? wal_->stats() : storage::WalStats{};
+}
+
 Status SnapshotManager::StartMerge() {
   MergeInput input;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (merge_running_) {
       return FailedPrecondition("a merge is already running");
+    }
+    if (wal_ != nullptr) {
+      // Log the seal boundary and rotate BEFORE mutating anything: if
+      // either fails, the delta stays active and no merge starts. The
+      // rotation's fsync makes the DeltaSealed record (and everything
+      // before it) durable; a replay that sees it reseals at the same
+      // cutoff. A DeltaSealed record without a merge behind it is
+      // harmless — replay reseals, content is unchanged.
+      const std::vector<uint8_t> payload =
+          storage::Wal::EncodeDocid(next_docid_);
+      X100IR_RETURN_IF_ERROR(
+          wal_->Append(storage::WalRecordType::kDeltaSealed, payload.data(),
+                       static_cast<uint32_t>(payload.size()), nullptr));
+      X100IR_RETURN_IF_ERROR(wal_->Rotate(&input.wal_sealed_seq));
     }
     delta_->Seal();
     sealed_.push_back(delta_);
@@ -519,12 +743,21 @@ Status SnapshotManager::BuildMergedSegment(const MergeInput& input,
 void SnapshotManager::RunMerge(MergeInput input) {
   std::shared_ptr<Segment> merged;
   Status s = BuildMergedSegment(input, &merged);
+  if (s.ok() &&
+      storage::CrashReached(storage::CrashSite::kMergeAfterSegmentBuild)) {
+    // The segment's files are complete on disk but nothing references
+    // them; the next Open sweeps the orphan directory.
+    s = IOError("simulated crash");
+  }
+  bool committed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (s.ok()) s = CommitMergeLocked(input, merged);
-    if (!s.ok() && merged != nullptr) {
+    if (s.ok()) s = CommitMergeLocked(input, merged, &committed);
+    if (!s.ok() && !committed && merged != nullptr) {
       // The built-but-uncommitted segment is garbage: arm deletion and let
-      // the release below (outside no snapshot ever saw it) clean up.
+      // the release below (outside no snapshot ever saw it) clean up. A
+      // *committed* merge that failed post-commit (MergeCommitted append,
+      // WAL truncation) keeps its segment — it is live in the manifest.
       merged->set_retire_on_release();
     }
     merge_status_ = s;
@@ -543,7 +776,9 @@ void SnapshotManager::RunMerge(MergeInput input) {
 }
 
 Status SnapshotManager::CommitMergeLocked(const MergeInput& input,
-                                          std::shared_ptr<Segment> merged) {
+                                          std::shared_ptr<Segment> merged,
+                                          bool* committed) {
+  *committed = false;
   // Deletes that landed during the merge targeted documents the merge
   // carried forward — re-apply them as tombstones on the new segment.
   TombstoneBits merged_tombs;
@@ -569,8 +804,9 @@ Status SnapshotManager::CommitMergeLocked(const MergeInput& input,
   sealed_tombs_.clear();
   ++epoch_;
   if (!dir_.empty()) {
-    Status written = WriteManifestLocked();
-    if (!written.ok()) {
+    bool renamed = false;
+    Status written = WriteManifestLocked(&renamed);
+    if (!written.ok() && !renamed) {
       // The swap never happened: restore the old segment set so the
       // in-memory state keeps matching the on-disk manifest. The sealed
       // delta was already compacted INTO `merged`, which we are dropping —
@@ -585,6 +821,32 @@ Status SnapshotManager::CommitMergeLocked(const MergeInput& input,
       // nothing to replay.
       PublishLocked();
       return written;
+    }
+    // The rename happened: the merge is committed on disk even if the
+    // crash simulation fired right after it. Finish the in-memory commit
+    // and report the failure without undoing anything.
+    *committed = true;
+    Status post = written;
+    if (post.ok() && wal_ != nullptr) {
+      // Marker + truncation. The marker is informational (replay skips
+      // it); the truncation is what reclaims the pre-rotation files whose
+      // every record the manifest now carries. Failures here leave stale
+      // files whose replay is idempotent, so the commit stands.
+      const std::vector<uint8_t> payload = storage::Wal::EncodeMergeCommitted(
+          merge_cutoff_, epoch_);
+      uint64_t lsn = 0;
+      post = wal_->Append(storage::WalRecordType::kMergeCommitted,
+                          payload.data(),
+                          static_cast<uint32_t>(payload.size()), &lsn);
+      if (post.ok()) post = wal_->Sync(lsn);
+      if (post.ok()) post = wal_->DropFilesUpTo(input.wal_sealed_seq);
+    }
+    if (!post.ok()) {
+      for (const Snapshot::SegmentRead& sr : old) {
+        sr.seg->set_retire_on_release();
+      }
+      PublishLocked();
+      return post;
     }
   }
   for (const Snapshot::SegmentRead& sr : old) {

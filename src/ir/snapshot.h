@@ -32,10 +32,17 @@
 //   failure     leaves the old state fully live: the sealed delta stays
 //               queryable and becomes input to the next merge attempt.
 //
-// Durability: merges and deletes persist (manifest); delta documents are
-// in-memory until merged, by design — the write buffer is the volatile
-// tier. A reopen adopts a valid manifest; a torn or mismatched one (or any
-// torn segment under it) falls back to a clean rebuild from the corpus.
+// Durability (DESIGN.md §13): merges persist through the manifest; the
+// delta tier persists through the write-ahead log (storage/wal.h). Every
+// AddDocument/DeleteDocument appends a WAL record under the commit mutex
+// and is acknowledged only after a covering fsync (group-committed), so a
+// reopen replays the log against the adopted manifest and reconstructs the
+// exact acknowledged pre-crash state. StartMerge writes a DeltaSealed
+// record and rotates the log; the merge commit appends MergeCommitted
+// after the manifest rename and drops the now-redundant files. A torn or
+// mismatched manifest (or any torn segment under it) falls back to a clean
+// rebuild from the corpus and discards the log — WAL records are only
+// meaningful against the manifest they were written with.
 #ifndef X100IR_IR_SNAPSHOT_H_
 #define X100IR_IR_SNAPSHOT_H_
 
@@ -135,11 +142,28 @@ class SnapshotManager {
   storage::BufferManager* pool() const { return pool_.get(); }
   const storage::SimulatedDisk* disk() const { return disk_.get(); }
 
+  // Write-path durability counters (zeros when the WAL is off/in-memory).
+  storage::WalStats wal_stats() const;
+
  private:
   struct MergeInput {
     std::vector<Snapshot::SegmentRead> segments;
     std::vector<Snapshot::DeltaRead> deltas;  // sealed, fully visible
     uint32_t seg_id = 0;
+    // WAL file sequence sealed by the StartMerge rotation; everything at or
+    // below it becomes droppable once this merge's manifest commits.
+    uint64_t wal_sealed_seq = 0;
+  };
+
+  // One resolved DeleteDocument target: which structure owns the docid and
+  // where, so validation (Find) can precede mutation (Apply).
+  struct DeleteTarget {
+    enum class Kind { kActiveDelta, kSealedDelta, kSegment } kind =
+        Kind::kActiveDelta;
+    size_t index = 0;    // sealed_/segments_ index (unused for active)
+    uint32_t local = 0;  // structure-local docid
+    const std::vector<DocTerm>* doc = nullptr;
+    int32_t len = 0;
   };
 
   StorageBinding BindingFor(uint32_t seg_id) const;
@@ -152,7 +176,20 @@ class SnapshotManager {
   // Publishes a new Snapshot of the current state at epoch_.
   void PublishLocked();
   // Serializes the committed segment set to MANIFEST via tmp + rename.
-  Status WriteManifestLocked();
+  // *renamed (may be null) reports whether the rename — the commit point —
+  // happened, so a caller can distinguish pre- from post-commit failure.
+  Status WriteManifestLocked(bool* renamed = nullptr);
+  // Applies one normalized document to the active delta (stats + epoch, no
+  // WAL, no publish) — the shared tail of AddDocument and WAL replay.
+  Status ApplyAddLocked(std::vector<DocTerm> doc, int32_t len, int32_t* docid);
+  // Resolves a docid to its owning structure. NotFound for never-allocated
+  // or already-deleted docids.
+  Status FindDeleteTargetLocked(int32_t docid, DeleteTarget* target) const;
+  // Tombstones a resolved target (stats + merge journal + epoch, no WAL,
+  // no manifest, no publish).
+  void ApplyDeleteLocked(const DeleteTarget& target, int32_t docid);
+  // Replays the opened WAL against the adopted state (Open only).
+  Status ReplayWalLocked();
   // Adopts dir_'s manifest: loads the listed segments and tombstones.
   // NotFound when no manifest exists; any other failure means the caller
   // should fall back to a clean rebuild.
@@ -161,8 +198,10 @@ class SnapshotManager {
   void RunMerge(MergeInput input);
   Status BuildMergedSegment(const MergeInput& input,
                             std::shared_ptr<Segment>* out);
+  // *committed reports whether the merge passed its commit point (manifest
+  // rename) — a post-commit failure must not retire the now-live segment.
   Status CommitMergeLocked(const MergeInput& input,
-                           std::shared_ptr<Segment> merged);
+                           std::shared_ptr<Segment> merged, bool* committed);
 
   const Corpus* corpus_ = nullptr;
   std::string dir_;
@@ -172,6 +211,9 @@ class SnapshotManager {
   // detach from pool_, then pool_/disk_ die.
   std::unique_ptr<storage::SimulatedDisk> disk_;
   std::unique_ptr<storage::BufferManager> pool_;
+  // Null when durability is off (in-memory database or wal.enabled=false).
+  // Appends happen under mu_; Sync (the fsync wait) deliberately outside.
+  std::unique_ptr<storage::Wal> wal_;
 
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;

@@ -305,6 +305,12 @@ ServiceStats QueryService::stats() const {
     s.cache_evictions = cs.evictions;
     s.cache_invalidations = cs.invalidations;
   }
+  if (db_ != nullptr) {
+    const storage::WalStats ws = db_->wal_stats();
+    s.wal_appends = ws.appends;
+    s.wal_fsyncs = ws.fsyncs;
+    s.wal_group_commit_batch_max = ws.batch_records_max;
+  }
   s.mode = mode();
   return s;
 }

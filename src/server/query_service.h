@@ -147,6 +147,13 @@ struct ServiceStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;  // whole-cache drops on epoch change
+  // Write-path durability, mirrored from the database's WAL (zero when the
+  // WAL is off): appends framed, fsyncs issued, and the largest number of
+  // records one group-commit fsync covered — the amortization the ingest
+  // bench gates on, surfaced here so an operator can see it live.
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_group_commit_batch_max = 0;
   ServiceMode mode = ServiceMode::kNormal;
 };
 

@@ -41,6 +41,7 @@
 #include "common/status.h"
 #include "storage/fault_injection.h"
 #include "storage/file.h"
+#include "storage/wal.h"
 
 namespace x100ir::storage {
 
@@ -146,6 +147,9 @@ struct StorageOptions {
   uint32_t shards = 1;
   RetryPolicy retry;
   DiskModelOptions disk;
+  // Delta-tier durability (storage/wal.h). Only meaningful for on-disk
+  // databases: in-memory ones have nowhere to log.
+  WalOptions wal;
 };
 
 class BufferManager {

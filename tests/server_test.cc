@@ -716,6 +716,39 @@ TEST(ServerTest, StopCancelsQueuedWorkCleanly) {
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
 }
 
+// WAL durability counters (DESIGN.md §13) flow from the database through
+// ServiceStats, so an operator watching the service sees the write path's
+// append/fsync amortization without reaching into the storage layer.
+TEST(ServerTest, StatsSurfaceWalCounters) {
+  core::DatabaseOptions dopts;
+  dopts.dir = FreshDir("wal_stats");
+  dopts.corpus = SmallCorpus();
+  dopts.storage.wal.enabled = true;
+  core::Database db;
+  ASSERT_TRUE(db.Open(dopts).ok());
+  ASSERT_TRUE(db.AddDocument({1, 2, 2, 7}, nullptr).ok());
+  ASSERT_TRUE(db.AddDocument({3, 5}, nullptr).ok());
+
+  QueryService service;
+  ASSERT_TRUE(service.Start(&db, QueryServiceOptions{}).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.wal_appends, 2u);     // the two acknowledged adds
+  EXPECT_GE(stats.wal_fsyncs, 1u);      // at least one covering fsync
+  EXPECT_GE(stats.wal_group_commit_batch_max, 1u);
+  service.Stop();
+
+  // An in-memory database has no WAL; the mirror reads zero, not garbage.
+  core::Database mem_db;
+  core::DatabaseOptions mem_opts;
+  mem_opts.corpus = SmallCorpus();
+  ASSERT_TRUE(mem_db.Open(mem_opts).ok());
+  QueryService mem_service;
+  ASSERT_TRUE(mem_service.Start(&mem_db, QueryServiceOptions{}).ok());
+  EXPECT_EQ(mem_service.stats().wal_appends, 0u);
+  EXPECT_EQ(mem_service.stats().wal_fsyncs, 0u);
+  mem_service.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Result cache (DESIGN.md §10): epoch-tagged, LRU-bounded, never stale.
 // ---------------------------------------------------------------------------
